@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure via
+``repro.bench.experiments`` (quick-scale by default; set
+``REPRO_BENCH_FULL=1`` for paper-scale sweeps), asserts the paper's
+qualitative claims, and writes the rendered table to
+``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def record_table():
+    """Save an ExperimentResult's table and echo it to stdout."""
+
+    def _record(result, name: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        (RESULTS_DIR / f"{name}.csv").write_text(result.csv())
+        print(text)
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """pytest-benchmark wrapper: simulations are deterministic, so one
+    round is exact; re-running a multi-second DES adds nothing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

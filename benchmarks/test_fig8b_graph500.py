@@ -1,0 +1,19 @@
+"""Figure 8(b): hybrid MPI+OpenSHMEM Graph500."""
+
+from repro.bench.experiments import fig8b_graph500
+
+from conftest import full_scale
+
+
+def test_fig8b_graph500(run_once, record_table):
+    result = run_once(fig8b_graph500.run, quick=not full_scale())
+    record_table(result, "fig8b_graph500")
+
+    times = result.extras["times"]
+    for npes, (static_us, ondemand_us, diff_pct) in times.items():
+        # Paper: negligible difference (<2%) — generation + validation
+        # dominate; give the simulated runs a little slack.
+        assert abs(diff_pct) < 8.0, (npes, diff_pct)
+    # BFS validated with zero errors on every run (asserted in rows).
+    for row in result.rows:
+        assert row[-1] == "ok"

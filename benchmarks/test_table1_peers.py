@@ -1,0 +1,21 @@
+"""Table I: average communicating peers per process."""
+
+from repro.bench.experiments import table1_peers
+
+from conftest import full_scale
+
+
+def test_table1_peers(run_once, record_table):
+    npes = 256 if full_scale() else 64
+    result = run_once(table1_peers.run, npes=npes, quick=not full_scale())
+    record_table(result, "table1_peers")
+
+    peers = result.extras["peers"]
+    # Every application talks to a small subset of its peers.
+    for name, value in peers.items():
+        assert value < npes * 0.35, (name, value)
+    # EP (reduction-only) is the sparsest of the suite.
+    assert peers["EP"] == min(peers.values())
+    # The stencil/ADI codes are all in the same one-digit band.
+    for name in ("BT", "SP", "MG", "2DHeat"):
+        assert 2.0 <= peers[name] <= 20.0, (name, peers[name])

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""NAS campaign: regenerate the paper's Figure 8(a) comparison.
+
+Runs the four NAS skeletons (BT, EP, MG, SP) under both connection
+designs and prints total execution times and the on-demand improvement
+— the paper reports 18-35% at 256 processes / class B.
+
+    python examples/nas_campaign.py [npes] [class]
+"""
+
+import sys
+
+from repro.apps import NasBT, NasEP, NasMG, NasSP
+from repro.bench import CURRENT, PROPOSED, fmt_us, render_table, run_job
+
+
+def main() -> None:
+    npes = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    nas_class = sys.argv[2] if len(sys.argv) > 2 else "S"
+    apps = [
+        NasBT(nas_class),
+        NasEP(nas_class, real_pairs=1000),
+        NasMG(nas_class, iters=4),
+        NasSP(nas_class),
+    ]
+    rows = []
+    for app in apps:
+        static = run_job(app, npes, CURRENT.evolve(heap_backing_kb=2048),
+                         testbed="A")
+        ondemand = run_job(app, npes, PROPOSED.evolve(heap_backing_kb=2048),
+                           testbed="A")
+        win = (1 - ondemand.wall_time_us / static.wall_time_us) * 100
+        rows.append([
+            app.name.upper(),
+            fmt_us(static.wall_time_us),
+            fmt_us(ondemand.wall_time_us),
+            f"{win:.1f}%",
+            f"{ondemand.resources.mean_active_peers:.1f}",
+        ])
+    print(render_table(
+        f"NAS class {nas_class} at {npes} PEs (Cluster-A)",
+        ["benchmark", "static", "on-demand", "improvement", "peers/PE"],
+        rows,
+        note="paper Figure 8(a): 18-35% improvement at 256 PEs / class B",
+    ))
+
+
+if __name__ == "__main__":
+    main()

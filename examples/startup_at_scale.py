@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Startup scaling sweep: regenerate the paper's Figure 5(a).
+
+Measures ``start_pes`` and Hello World wall time for both designs on
+simulated Stampede (Cluster-B, 16 ppn) at growing job sizes.  With the
+default sizes this takes a couple of minutes; pass explicit sizes to
+go bigger (the paper sweeps to 8,192).
+
+    python examples/startup_at_scale.py [npes ...]
+"""
+
+import sys
+
+from repro.bench.experiments import fig5_startup
+
+
+def main() -> None:
+    sizes = [int(a) for a in sys.argv[1:]] or [128, 512, 2048, 4096]
+    result = fig5_startup.run(sizes=sizes)
+    print(result.render())
+    breakdown = fig5_startup.run_breakdown(sizes=sizes[:3])
+    print(breakdown.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure at (near-)paper scale.
+
+Writes rendered tables to ``benchmarks/results/full/``.  This is the
+long version of ``pytest benchmarks/`` (REPRO_BENCH_FULL=1); expect it
+to run for some minutes.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import (
+    ablation_barrier,
+    ablation_piggyback,
+    ablation_pmi,
+    ablation_qp_cache,
+    fig1_breakdown,
+    fig2_radar,
+    fig5_startup,
+    fig6_p2p,
+    fig7_collectives,
+    fig8a_nas,
+    fig8b_graph500,
+    fig9_resources,
+    table1_peers,
+)
+
+OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "full"
+
+RUNS = [
+    ("fig1_breakdown", lambda: fig1_breakdown.run(quick=False)),
+    ("table1_peers", lambda: table1_peers.run(npes=256, quick=False)),
+    ("fig2_radar", lambda: fig2_radar.run(npes=64, startup_npes=1024)),
+    ("fig5a_startup", lambda: fig5_startup.run(quick=False)),
+    ("fig5b_breakdown", lambda: fig5_startup.run_breakdown(quick=False)),
+    ("fig6ab_put_get", lambda: fig6_p2p.run(iterations=1000, quick=False)),
+    ("fig6c_atomics", lambda: fig6_p2p.run_atomics(iterations=1000)),
+    ("fig7ab_collect_reduce", lambda: fig7_collectives.run(
+        npes=512, iterations=20, quick=False)),
+    ("fig7c_barrier", lambda: fig7_collectives.run_barrier(quick=False)),
+    ("fig8a_nas", lambda: fig8a_nas.run(npes=256, nas_class="B",
+                                        quick=False)),
+    ("fig8b_graph500", lambda: fig8b_graph500.run(quick=False)),
+    ("fig9_resources", lambda: fig9_resources.run(quick=False)),
+    ("ablation_d1_piggyback", lambda: ablation_piggyback.run(npes=32)),
+    ("ablation_d2_pmi", lambda: ablation_pmi.run(quick=False)),
+    ("ablation_d3_barrier", lambda: ablation_barrier.run(quick=False)),
+    ("ablation_d5_qp_cache", lambda: ablation_qp_cache.run()),
+]
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    only = set(sys.argv[1:])
+    for name, fn in RUNS:
+        if only and name not in only:
+            continue
+        start = time.time()
+        print(f"[{name}] running ...", flush=True)
+        try:
+            result = fn()
+        except Exception as exc:  # keep going; report at the end
+            print(f"[{name}] FAILED: {exc!r}", flush=True)
+            continue
+        text = result.render()
+        (OUT / f"{name}.txt").write_text(text)
+        (OUT / f"{name}.csv").write_text(result.csv())
+        print(text, flush=True)
+        print(f"[{name}] done in {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

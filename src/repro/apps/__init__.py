@@ -1,0 +1,25 @@
+"""Simulated applications: Hello World, 2D-Heat, NAS skeletons, Graph500."""
+
+from .base import Application
+from .graph500 import Graph500Hybrid, kronecker_edges
+from .heat2d import Heat2D, process_grid, solve_heat_serial
+from .hello import HelloWorld
+from .samplesort import HybridSampleSort
+from .nas import CLASSES, NasBT, NasEP, NasIS, NasMG, NasSP
+
+__all__ = [
+    "Application",
+    "HelloWorld",
+    "Heat2D",
+    "process_grid",
+    "solve_heat_serial",
+    "Graph500Hybrid",
+    "HybridSampleSort",
+    "kronecker_edges",
+    "NasBT",
+    "NasEP",
+    "NasIS",
+    "NasMG",
+    "NasSP",
+    "CLASSES",
+]

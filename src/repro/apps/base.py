@@ -1,0 +1,29 @@
+"""Application interface for the job launcher."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+__all__ = ["Application"]
+
+
+class Application:
+    """Base class for simulated applications.
+
+    Subclasses implement :meth:`run` as a generator that programs
+    against the :class:`~repro.shmem.runtime.ShmemPE` API (and
+    ``pe.mpi`` when :attr:`uses_mpi` is set).  The return value is
+    collected per PE into :attr:`~repro.core.metrics.JobResult.app_results`.
+    """
+
+    #: Report label.
+    name = "app"
+    #: When True the Job attaches an MPI communicator as ``pe.mpi``.
+    uses_mpi = False
+
+    def run(self, pe) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,176 @@
+"""2D heat-conduction kernel (the paper's "2DHeat", ref [27]).
+
+A real Jacobi solver for the steady-state heat equation on a square
+grid with fixed boundary temperatures, domain-decomposed over a 2D
+process grid.  Each iteration:
+
+1. compute the 5-point stencil update on the local block (real numpy
+   arithmetic on real data) and charge modelled compute time;
+2. ``shmem_put`` boundary rows/columns into the four neighbours' ghost
+   buffers;
+3. synchronise with ``shmem_barrier_all``;
+4. every ``check_every`` iterations, reduce the global residual and
+   stop on convergence.
+
+Communication footprint per PE: <= 4 stencil neighbours + the barrier/
+reduction tree — the smallest of the evaluated applications, which is
+why 2DHeat scales best in Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional, Tuple
+
+import numpy as np
+
+from .base import Application
+
+__all__ = ["Heat2D", "process_grid", "solve_heat_serial"]
+
+#: Modelled compute cost per stencil cell update (us, Westmere-class).
+_CELL_UPDATE_US = 0.004
+
+
+def process_grid(npes: int) -> Tuple[int, int]:
+    """Near-square factorisation pr x pc == npes (pr <= pc)."""
+    pr = int(math.isqrt(npes))
+    while npes % pr:
+        pr -= 1
+    return pr, npes // pr
+
+
+def solve_heat_serial(n: int, iters: int, top: float = 100.0) -> np.ndarray:
+    """Reference serial Jacobi (for verification in tests)."""
+    grid = np.zeros((n + 2, n + 2))
+    grid[0, :] = top
+    for _ in range(iters):
+        interior = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        grid[1:-1, 1:-1] = interior
+    return grid
+
+
+class Heat2D(Application):
+    """Distributed Jacobi heat solver.
+
+    Parameters
+    ----------
+    n:
+        Global grid is ``n x n`` interior points; must divide evenly
+        over the process grid.
+    iters:
+        Fixed iteration count (deterministic runs for benchmarking).
+    check_every:
+        Residual-reduction cadence (0 disables convergence checks).
+    """
+
+    name = "2dheat"
+
+    def __init__(self, n: int = 64, iters: int = 20, check_every: int = 10,
+                 top: float = 100.0) -> None:
+        self.n = n
+        self.iters = iters
+        self.check_every = check_every
+        self.top = top
+
+    # ------------------------------------------------------------------
+    def run(self, pe) -> Generator:
+        npes, rank = pe.npes, pe.mype
+        pr, pc = process_grid(npes)
+        if self.n % pr or self.n % pc:
+            raise ValueError(
+                f"grid {self.n} does not tile over {pr}x{pc} processes"
+            )
+        br, bc = self.n // pr, self.n // pc  # local block shape
+        my_r, my_c = divmod(rank, pc)
+
+        def neighbor(dr: int, dc: int) -> Optional[int]:
+            r, c = my_r + dr, my_c + dc
+            if 0 <= r < pr and 0 <= c < pc:
+                return r * pc + c
+            return None
+
+        north, south = neighbor(-1, 0), neighbor(1, 0)
+        west, east = neighbor(0, -1), neighbor(0, 1)
+
+        # Symmetric allocations (same order on every PE).  Ghost
+        # buffers are double-buffered by iteration parity: barrier
+        # release is not instantaneous across PEs (it rides a message
+        # tree), so iteration k's puts must not land in the buffers a
+        # slow PE is still reading for iteration k.
+        f8 = np.dtype(np.float64).itemsize
+        block_addr = pe.shmalloc(br * bc * f8)
+        ghosts = {
+            (side, parity): pe.shmalloc(extent * f8)
+            for side, extent in (
+                ("north", bc), ("south", bc), ("west", br), ("east", br),
+            )
+            for parity in (0, 1)
+        }
+        resid_addr = pe.shmalloc(f8)
+        resid_out = pe.shmalloc(f8)
+
+        block = pe.view(block_addr, np.float64, br * bc).reshape(br, bc)
+        gview = {
+            key: pe.view(a, np.float64,
+                         bc if key[0] in ("north", "south") else br)
+            for key, a in ghosts.items()
+        }
+        block[:] = 0.0
+        # Boundary condition: hot top edge (both parities).
+        if north is None:
+            gview[("north", 0)][:] = self.top
+            gview[("north", 1)][:] = self.top
+
+        compute_us = br * bc * _CELL_UPDATE_US * pe.cost.compute_scale
+        yield from pe.barrier_all()  # allocations ready everywhere
+
+        iterations_done = 0
+        for it in range(self.iters):
+            read_p, write_p = it % 2, (it + 1) % 2
+            old = block.copy()
+            padded = np.zeros((br + 2, bc + 2))
+            padded[1:-1, 1:-1] = old
+            padded[0, 1:-1] = gview[("north", read_p)]
+            padded[-1, 1:-1] = gview[("south", read_p)]
+            padded[1:-1, 0] = gview[("west", read_p)]
+            padded[1:-1, -1] = gview[("east", read_p)]
+            block[:] = 0.25 * (
+                padded[:-2, 1:-1] + padded[2:, 1:-1]
+                + padded[1:-1, :-2] + padded[1:-1, 2:]
+            )
+            yield pe.sim.timeout(compute_us)
+
+            # Halo exchange into the *next* parity's ghosts.
+            if north is not None:
+                yield from pe.put_array(
+                    north, ghosts[("south", write_p)], block[0, :])
+            if south is not None:
+                yield from pe.put_array(
+                    south, ghosts[("north", write_p)], block[-1, :])
+            if west is not None:
+                yield from pe.put_array(
+                    west, ghosts[("east", write_p)], block[:, 0])
+            if east is not None:
+                yield from pe.put_array(
+                    east, ghosts[("west", write_p)], block[:, -1])
+            yield from pe.barrier_all()
+            iterations_done += 1
+
+            if self.check_every and (it + 1) % self.check_every == 0:
+                local = float(np.abs(block - old).max())
+                pe.view(resid_addr, np.float64, 1)[0] = local
+                yield from pe.max_to_all(resid_addr, resid_out, 1)
+                if pe.view(resid_out, np.float64, 1)[0] < 1e-9:
+                    break
+
+        checksum = float(block.sum())
+        return {
+            "iterations": iterations_done,
+            "checksum": checksum,
+            "block": block.copy(),
+            "coords": (my_r, my_c),
+            "block_shape": (br, bc),
+        }

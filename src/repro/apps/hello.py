@@ -1,0 +1,24 @@
+"""Hello World: the paper's startup benchmark (Section V-B).
+
+Does no communication of its own — everything it pays is start_pes,
+the implicit finalize barrier, and teardown, which is exactly why it
+exposes the startup designs so starkly (Figure 5a).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .base import Application
+
+__all__ = ["HelloWorld"]
+
+
+class HelloWorld(Application):
+    name = "hello"
+
+    def run(self, pe) -> Generator:
+        # A real Hello World prints and exits; charge a token amount of
+        # application CPU so the app section isn't literally zero.
+        yield pe.sim.timeout(50.0 * pe.cost.compute_scale)
+        return f"Hello from PE {pe.mype} of {pe.npes}"

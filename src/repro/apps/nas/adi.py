@@ -1,0 +1,146 @@
+"""Shared skeleton for the ADI solvers BT and SP.
+
+Both NAS BT and SP solve block-tridiagonal / scalar-pentadiagonal
+systems with Alternating-Direction-Implicit sweeps over a square
+process grid.  Per iteration the communication is:
+
+* a boundary exchange with the four grid neighbours (periodic), and
+* pipelined line-solve sweeps along grid rows (x) and columns (y):
+  each stage receives partial sums from the predecessor and forwards
+  to the successor.
+
+BT and SP differ (as in NAS) in message sizes and per-point compute:
+BT moves 5x5 block rows (bigger messages, heavier compute, fewer
+iterations), SP scalar lines (smaller messages, more iterations).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..base import Application
+from .common import CLASSES, grid_2d
+
+__all__ = ["AdiKernelBase"]
+
+
+class AdiKernelBase(Application):
+    """Configure via class attributes in BT / SP subclasses."""
+
+    #: Doubles per solved point (drives message sizes).
+    unknowns_per_point = 5
+    #: Block size of the implicit system (BT: 5x5 blocks; SP: scalars).
+    block_doubles = 25
+    #: Modelled compute per point per iteration (us).
+    point_us = 0.02
+    #: Iterations for our class-S baseline.
+    base_iters = 6
+    #: Local points per dimension for class S.
+    base_local = 12
+
+    def __init__(self, nas_class: str = "B", iters: Optional[int] = None):
+        self.nas_class = CLASSES[nas_class]
+        self.iters = iters if iters is not None else max(
+            2, int(self.base_iters * self.nas_class.iter_factor)
+        )
+
+    def run(self, pe) -> Generator:
+        npes, rank = pe.npes, pe.mype
+        pr, pc = grid_2d(npes)
+        my_r, my_c = divmod(rank, pc)
+        local = int(self.base_local * self.nas_class.size_factor)
+        f8 = np.dtype(np.float64).itemsize
+
+        # Periodic 2D neighbours.
+        north = ((my_r - 1) % pr) * pc + my_c
+        south = ((my_r + 1) % pr) * pc + my_c
+        west = my_r * pc + (my_c - 1) % pc
+        east = my_r * pc + (my_c + 1) % pc
+
+        face_elems = local * self.unknowns_per_point
+        line_elems = local * self.block_doubles
+
+        state_addr = pe.shmalloc(local * local * f8)
+        ghosts = {d: pe.shmalloc(face_elems * f8)
+                  for d in ("n", "s", "w", "e")}
+        pipe_in = {d: pe.shmalloc(line_elems * f8 + f8)
+                   for d in ("x", "y")}
+
+        state = pe.view(state_addr, np.float64, local * local).reshape(
+            local, local
+        )
+        rng = np.random.default_rng(777 + rank)
+        state[:] = rng.random(state.shape)
+
+        compute_us = (
+            local * local * self.point_us * pe.cost.compute_scale
+        )
+        yield from pe.barrier_all()
+
+        for it in range(self.iters):
+            # -- boundary exchange (copy faces), real data --------------
+            yield from pe.put_array(
+                north, ghosts["s"],
+                np.resize(state[0, :], face_elems),
+            )
+            yield from pe.put_array(
+                south, ghosts["n"],
+                np.resize(state[-1, :], face_elems),
+            )
+            yield from pe.put_array(
+                west, ghosts["e"],
+                np.resize(state[:, 0], face_elems),
+            )
+            yield from pe.put_array(
+                east, ghosts["w"],
+                np.resize(state[:, -1], face_elems),
+            )
+            yield from pe.barrier_all()
+
+            # -- x sweep: pipeline along the grid row --------------------
+            yield from self._sweep(
+                pe, axis="x", stage=my_c, nstages=pc,
+                prev=west, nxt=east, line_elems=line_elems,
+                pipe_addr=pipe_in["x"], it=it, state=state,
+            )
+            yield pe.sim.timeout(compute_us)
+
+            # -- y sweep: pipeline along the grid column -----------------
+            yield from self._sweep(
+                pe, axis="y", stage=my_r, nstages=pr,
+                prev=north, nxt=south, line_elems=line_elems,
+                pipe_addr=pipe_in["y"], it=it, state=state,
+            )
+            yield pe.sim.timeout(compute_us)
+            yield from pe.barrier_all()
+
+        # Solution verification surrogate: global checksum.
+        src, dst = pe.shmalloc(f8), pe.shmalloc(f8)
+        pe.view(src, np.float64, 1)[0] = float(state.sum())
+        yield from pe.sum_to_all(src, dst, 1)
+        yield from pe.barrier_all()
+        return {
+            "checksum": float(pe.view(dst, np.float64, 1)[0]),
+            "iters": self.iters,
+        }
+
+    def _sweep(self, pe, axis: str, stage: int, nstages: int, prev: int,
+               nxt: int, line_elems: int, pipe_addr: int, it: int,
+               state) -> Generator:
+        """One pipelined line-solve: wait for the predecessor's partial
+        results (flag + payload put into our buffer), fold them in, and
+        forward ours to the successor."""
+        f8 = np.dtype(np.float64).itemsize
+        flag_addr = pipe_addr + line_elems * f8
+        if nstages > 1 and stage > 0:
+            # Wait for the predecessor's forward-elimination data.
+            yield from pe.wait_until(flag_addr, "ge", it + 1)
+            incoming = pe.view(pipe_addr, np.float64, line_elems)
+            state[0, 0] += float(incoming[:4].sum()) * 1e-9  # fold (real use)
+        if nstages > 1 and stage < nstages - 1:
+            payload = np.resize(np.asarray(state[0], dtype=np.float64),
+                                line_elems)
+            yield from pe.put_array(nxt, pipe_addr, payload)
+            yield from pe.put_value(nxt, flag_addr, it + 1)

@@ -1,0 +1,18 @@
+"""NAS BT (Block-Tridiagonal) skeleton — see :mod:`.adi`."""
+
+from __future__ import annotations
+
+from .adi import AdiKernelBase
+
+__all__ = ["NasBT"]
+
+
+class NasBT(AdiKernelBase):
+    """5x5 block systems: big messages, heavy compute, fewer iterations."""
+
+    name = "bt"
+    unknowns_per_point = 5
+    block_doubles = 25
+    point_us = 0.030
+    base_iters = 6
+    base_local = 12

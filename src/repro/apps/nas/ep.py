@@ -1,0 +1,91 @@
+"""NAS EP (Embarrassingly Parallel) — OpenSHMEM port skeleton.
+
+EP generates pairs of uniform deviates with the NAS linear congruential
+generator, accepts those inside the unit circle, tallies independent
+Gaussian deviates per annulus, and reduces the ten counts plus the two
+sums across all PEs.  It is *all* compute: the only communication is
+the final reduction, which is why its communicating-peer count in
+Table I is the lowest of the NAS suite.
+
+The kernel here really runs (a reduced sample count through the real
+LCG + Marsaglia transform) and charges modelled time for the full
+class-sized sample count.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..base import Application
+from .common import CLASSES
+
+__all__ = ["NasEP"]
+
+#: Modelled cost of generating + transforming one sample pair (us).
+_PAIR_US = 0.5
+#: Class-S total pairs (scaled by class factors; class B == x3 linear
+#: size means 2^28-ish in real NAS — reduced here, see module doc).
+#: EP is the compute-heaviest of the four skeletons, which is what
+#: makes its *relative* startup win the smallest in Figure 8(a).
+_BASE_PAIRS_TOTAL = 2**24
+
+_LCG_A = 5**13
+_LCG_MOD = 2**46
+
+
+def _lcg_stream(seed: int, count: int) -> np.ndarray:
+    """The NAS EP pseudorandom stream in [0, 1)."""
+    out = np.empty(count, dtype=np.float64)
+    x = seed
+    for i in range(count):
+        x = (_LCG_A * x) % _LCG_MOD
+        out[i] = x / _LCG_MOD
+    return out
+
+
+class NasEP(Application):
+    name = "ep"
+
+    def __init__(self, nas_class: str = "B", real_pairs: int = 2000) -> None:
+        self.nas_class = CLASSES[nas_class]
+        self.real_pairs = real_pairs
+
+    def run(self, pe) -> Generator:
+        total_pairs = int(
+            _BASE_PAIRS_TOTAL * self.nas_class.size_factor ** 2
+        )
+        my_pairs = total_pairs // pe.npes
+        # -- real (reduced) kernel --------------------------------------
+        n = min(self.real_pairs, my_pairs)
+        u = _lcg_stream(271828183 + pe.mype, 2 * n)
+        x, y = 2.0 * u[0::2] - 1.0, 2.0 * u[1::2] - 1.0
+        t = x * x + y * y
+        accept = (0.0 < t) & (t <= 1.0)
+        xa, ya, ta = x[accept], y[accept], t[accept]
+        factor = np.sqrt(-2.0 * np.log(ta) / ta)
+        gx, gy = xa * factor, ya * factor
+        sx, sy = float(gx.sum()), float(gy.sum())
+        m = np.maximum(np.abs(gx), np.abs(gy)).astype(int)
+        counts = np.bincount(np.clip(m, 0, 9), minlength=10).astype(np.float64)
+
+        # -- modelled compute for the full class size --------------------
+        yield pe.sim.timeout(my_pairs * _PAIR_US * pe.cost.compute_scale)
+
+        # -- the only communication: global reductions -------------------
+        f8 = np.dtype(np.float64).itemsize
+        src = pe.shmalloc(12 * f8)
+        dst = pe.shmalloc(12 * f8)
+        buf = pe.view(src, np.float64, 12)
+        buf[0], buf[1] = sx, sy
+        buf[2:12] = counts
+        yield from pe.sum_to_all(src, dst, 12)
+        result = pe.view(dst, np.float64, 12).copy()
+        yield from pe.barrier_all()
+        return {
+            "sx": result[0],
+            "sy": result[1],
+            "counts": result[2:12].tolist(),
+            "accepted_local": int(accept.sum()),
+        }

@@ -1,0 +1,152 @@
+"""NAS IS (Integer Sort) — bucket sort with an all-to-all exchange.
+
+IS is the NAS kernel with the *densest* communication pattern: every
+process exchanges key counts and key payloads with every other process
+each iteration, which is why an IS-like workload gains the least from
+on-demand connections (it genuinely needs most of its peers).  The
+paper's NAS table omits IS (no OpenSHMEM port existed); we include it
+as the dense end of the application spectrum.
+
+The sort is real: keys are generated with the NAS LCG, routed to
+bucket owners via ``shmem_fcollect`` (counts) + pipelined one-sided
+puts (payloads), locally sorted with numpy, and validated globally
+(boundary ordering + key conservation).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..base import Application
+from .common import CLASSES
+
+__all__ = ["NasIS"]
+
+#: Modelled CPU cost per key per ranking pass (us).
+_KEY_US = 0.02
+#: Keys per PE for class S.
+_BASE_KEYS_PER_PE = 1024
+#: Key space (class S); scales with the class size factor.
+_BASE_MAX_KEY = 1 << 16
+
+
+class NasIS(Application):
+    name = "is"
+
+    def __init__(self, nas_class: str = "S", iters: int = 3) -> None:
+        self.nas_class = CLASSES[nas_class]
+        self.iters = iters
+
+    def run(self, pe) -> Generator:
+        npes, rank = pe.npes, pe.mype
+        keys_per_pe = int(_BASE_KEYS_PER_PE * self.nas_class.size_factor)
+        max_key = int(_BASE_MAX_KEY * self.nas_class.size_factor)
+        bucket_width = (max_key + npes - 1) // npes
+        i8 = np.dtype(np.int64).itemsize
+
+        rng = np.random.default_rng(1990 + rank)  # NAS-style per-PE stream
+        keys = rng.integers(0, max_key, size=keys_per_pe, dtype=np.int64)
+
+        # Symmetric buffers: counts matrix row + receive area.
+        counts_src = pe.shmalloc(npes * i8)
+        counts_all = pe.shmalloc(npes * npes * i8)
+        recv_cap = 4 * keys_per_pe + 64
+        recv_addr = pe.shmalloc(recv_cap * i8)
+        yield from pe.barrier_all()
+
+        sorted_keys = np.empty(0, dtype=np.int64)
+        for _ in range(self.iters):
+            owners = np.clip(keys // bucket_width, 0, npes - 1)
+            order = np.argsort(owners, kind="stable")
+            routed = keys[order]
+            bucket_counts = np.bincount(owners, minlength=npes).astype(np.int64)
+            yield pe.sim.timeout(
+                keys_per_pe * _KEY_US * pe.cost.compute_scale
+            )
+
+            # 1) exchange the counts matrix (dense, small).
+            pe.view(counts_src, np.int64, npes)[:] = bucket_counts
+            yield from pe.fcollect(counts_src, counts_all, npes * i8)
+            matrix = pe.view(counts_all, np.int64, npes * npes).reshape(
+                npes, npes
+            )
+
+            # 2) every PE knows everyone's counts: compute its write
+            #    offsets into each destination's receive buffer.
+            my_recv_total = int(matrix[:, rank].sum())
+            if my_recv_total > recv_cap:
+                from ...errors import ShmemError
+
+                raise ShmemError(
+                    f"IS receive buffer overflow ({my_recv_total} > "
+                    f"{recv_cap})"
+                )
+            # offset of MY block inside dest d = sum of earlier senders'
+            # counts for d.
+            send_starts = np.concatenate(
+                ([0], np.cumsum(bucket_counts)[:-1])
+            )
+            for dest in range(npes):
+                n = int(bucket_counts[dest])
+                if n == 0:
+                    continue
+                block = routed[send_starts[dest]:send_starts[dest] + n]
+                offset = int(matrix[:rank, dest].sum())
+                yield from pe.put_array_nbi(
+                    dest, recv_addr + offset * i8, block
+                )
+            yield from pe.quiet()
+            yield from pe.barrier_all()
+
+            # 3) local sort of the received bucket (real numpy sort).
+            received = pe.view(recv_addr, np.int64, max(1, my_recv_total))[
+                :my_recv_total
+            ].copy()
+            sorted_keys = np.sort(received)
+            yield pe.sim.timeout(
+                max(1, my_recv_total) * _KEY_US * pe.cost.compute_scale
+            )
+            yield from pe.barrier_all()
+
+        # ------- validation (real, global) ----------------------------
+        f8 = np.dtype(np.int64).itemsize
+        stat_src = pe.shmalloc(2 * f8)
+        stat_dst = pe.shmalloc(2 * f8)
+        stats = pe.view(stat_src, np.int64, 2)
+        stats[0] = len(sorted_keys)
+        stats[1] = int(sorted_keys.sum()) if len(sorted_keys) else 0
+        yield from pe.reduce(stat_src, stat_dst, 2, np.int64, "sum")
+        total_keys, total_sum = (
+            int(v) for v in pe.view(stat_dst, np.int64, 2)
+        )
+
+        # Boundary order: collect every PE's (min, max, count) and check
+        # the non-empty buckets are globally monotone.
+        edge_src = pe.shmalloc(3 * f8)
+        edge_all = pe.shmalloc(3 * f8 * npes)
+        e = pe.view(edge_src, np.int64, 3)
+        if len(sorted_keys):
+            e[:] = [int(sorted_keys[0]), int(sorted_keys[-1]), 1]
+        else:
+            e[:] = [0, 0, 0]
+        yield from pe.fcollect(edge_src, edge_all, 3 * f8)
+        table = pe.view(edge_all, np.int64, 3 * npes).reshape(npes, 3)
+        prev_max = None
+        ordered = True
+        for mn, mx, nonempty in table:
+            if not nonempty:
+                continue
+            if prev_max is not None and mn < prev_max:
+                ordered = False
+            prev_max = mx
+        locally_sorted = bool(np.all(np.diff(sorted_keys) >= 0))
+        yield from pe.barrier_all()
+        return {
+            "my_keys": len(sorted_keys),
+            "total_keys": total_keys,
+            "total_sum": total_sum,
+            "locally_sorted": locally_sorted,
+            "boundary_ordered": bool(ordered),
+        }

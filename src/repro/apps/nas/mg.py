@@ -1,0 +1,136 @@
+"""NAS MG (MultiGrid) — OpenSHMEM port skeleton.
+
+MG runs V-cycles on a 3D grid distributed over a 3D process grid.  The
+communication structure — the part that determines Table I and
+Figure 9 — is the face exchange with the six axis neighbours, where the
+neighbour *stride doubles at each coarser level* (when the coarse grid
+has fewer points than processes, a process's neighbour in grid space is
+several process-grid hops away).  That growing stride is why MG touches
+more distinct peers than a plain stencil code.
+
+Real face buffers travel through shmem puts at every level; smoothing
+is a real (tiny) Jacobi sweep at the finest level and modelled time at
+coarser ones.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..base import Application
+from .common import CLASSES, grid_3d
+
+__all__ = ["NasMG"]
+
+#: Modelled smoothing cost per grid point per sweep (us).
+_POINT_US = 0.006
+#: Local grid points per dimension at the finest level (class S).
+_BASE_LOCAL = 8
+
+
+class NasMG(Application):
+    name = "mg"
+
+    def __init__(self, nas_class: str = "B", iters: int = 4,
+                 levels: int = 4) -> None:
+        self.nas_class = CLASSES[nas_class]
+        self.iters = iters
+        self.levels = levels
+
+    def run(self, pe) -> Generator:
+        npes, rank = pe.npes, pe.mype
+        px, py, pz = grid_3d(npes)
+        dims = (px, py, pz)
+        mz, rem = divmod(rank, px * py)
+        my_coord = (rem % px, rem // px, mz)
+
+        local_n = int(_BASE_LOCAL * self.nas_class.size_factor)
+        f8 = np.dtype(np.float64).itemsize
+        face_elems = local_n * local_n
+
+        # Symmetric allocations: one block + one ghost face per
+        # direction per level (strides differ per level, so separate
+        # ghost buffers keep the exchange race-free).
+        block_addr = pe.shmalloc(local_n**3 * f8)
+        ghost_addrs = [
+            {(axis, sign): pe.shmalloc(face_elems * f8)
+             for axis in range(3) for sign in (-1, 1)}
+            for _ in range(self.levels)
+        ]
+        block = pe.view(block_addr, np.float64, local_n**3).reshape(
+            (local_n,) * 3
+        )
+        rng = np.random.default_rng(12345 + rank)
+        block[:] = rng.random(block.shape)
+
+        def neighbor(axis: int, sign: int, stride: int) -> int:
+            """Periodic neighbour `stride` process-grid steps away."""
+            coord = list(my_coord)
+            coord[axis] = (coord[axis] + sign * stride) % dims[axis]
+            return (
+                coord[0] + coord[1] * px + coord[2] * px * py
+            )
+
+        def face_of(arr: np.ndarray, axis: int, sign: int) -> np.ndarray:
+            idx = [slice(None)] * 3
+            idx[axis] = -1 if sign > 0 else 0
+            return np.ascontiguousarray(arr[tuple(idx)])
+
+        yield from pe.barrier_all()
+
+        checksum = 0.0
+        for _it in range(self.iters):
+            # -- V-cycle down: fine -> coarse ---------------------------
+            for level in range(self.levels):
+                stride = min(1 << level, max(dims) - 1) or 1
+                points = max(2, local_n >> level) ** 3
+                if level == 0:
+                    # Real smoothing sweep at the finest level.
+                    block[1:-1, 1:-1, 1:-1] = (
+                        block[:-2, 1:-1, 1:-1] + block[2:, 1:-1, 1:-1]
+                        + block[1:-1, :-2, 1:-1] + block[1:-1, 2:, 1:-1]
+                        + block[1:-1, 1:-1, :-2] + block[1:-1, 1:-1, 2:]
+                    ) / 6.0
+                yield pe.sim.timeout(
+                    points * _POINT_US * pe.cost.compute_scale
+                )
+                # Face exchange with the six stride-neighbours.
+                for axis in range(3):
+                    if dims[axis] == 1:
+                        continue
+                    for sign in (-1, 1):
+                        dst_pe = neighbor(axis, sign, stride)
+                        if dst_pe == rank:
+                            continue
+                        face = face_of(block, axis, sign)[
+                            :face_elems
+                        ].ravel()[:face_elems]
+                        yield from pe.put_array(
+                            dst_pe,
+                            ghost_addrs[level][(axis, -sign)],
+                            face,
+                        )
+                yield from pe.barrier_all()
+            # -- V-cycle up: coarse -> fine (compute only + sync) -------
+            for level in reversed(range(self.levels)):
+                points = max(2, local_n >> level) ** 3
+                yield pe.sim.timeout(
+                    points * _POINT_US * 0.5 * pe.cost.compute_scale
+                )
+            # Fold the ghosts we received back in (real data use).
+            g = pe.view(ghost_addrs[0][(0, -1)], np.float64, face_elems)
+            block[0, :, :] = 0.5 * (
+                block[0, :, :] + g.reshape(local_n, local_n)
+            )
+            checksum = float(block.sum())
+
+        # Residual norm reduction, as in the real benchmark.
+        src = pe.shmalloc(f8)
+        dst = pe.shmalloc(f8)
+        pe.view(src, np.float64, 1)[0] = checksum
+        yield from pe.sum_to_all(src, dst, 1)
+        total = float(pe.view(dst, np.float64, 1)[0])
+        yield from pe.barrier_all()
+        return {"checksum_local": checksum, "checksum_global": total}

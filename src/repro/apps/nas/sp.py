@@ -1,0 +1,18 @@
+"""NAS SP (Scalar-Pentadiagonal) skeleton — see :mod:`.adi`."""
+
+from __future__ import annotations
+
+from .adi import AdiKernelBase
+
+__all__ = ["NasSP"]
+
+
+class NasSP(AdiKernelBase):
+    """Scalar systems: smaller messages, lighter compute, more sweeps."""
+
+    name = "sp"
+    unknowns_per_point = 5
+    block_doubles = 5
+    point_us = 0.016
+    base_iters = 10
+    base_local = 12

@@ -1,0 +1,30 @@
+"""Benchmark harness: OSU-style microbenchmarks + per-figure experiments."""
+
+from .microbench import (
+    AtomicLatency,
+    BarrierLatency,
+    CollectiveLatency,
+    GetLatency,
+    PutLatency,
+)
+from .regression import linear_fit, project
+from .runner import CURRENT, PROPOSED, ExperimentResult, run_job
+from .tables import fmt_ratio, fmt_us, render_table, rows_to_csv
+
+__all__ = [
+    "PutLatency",
+    "GetLatency",
+    "AtomicLatency",
+    "CollectiveLatency",
+    "BarrierLatency",
+    "linear_fit",
+    "project",
+    "ExperimentResult",
+    "run_job",
+    "CURRENT",
+    "PROPOSED",
+    "render_table",
+    "rows_to_csv",
+    "fmt_us",
+    "fmt_ratio",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig5a fig9            # quick scale
+    python -m repro.bench --full fig8a          # paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ablation_barrier,
+    ablation_piggyback,
+    ablation_pmi,
+    ablation_qp_cache,
+    fig1_breakdown,
+    fig2_radar,
+    fig5_startup,
+    fig6_p2p,
+    fig7_collectives,
+    fig8a_nas,
+    fig8b_graph500,
+    fig9_resources,
+    table1_peers,
+)
+
+EXPERIMENTS = {
+    "fig1": lambda quick: fig1_breakdown.run(quick=quick),
+    "table1": lambda quick: table1_peers.run(quick=quick),
+    "fig2": lambda quick: fig2_radar.run(),
+    "fig5a": lambda quick: fig5_startup.run(quick=quick),
+    "fig5b": lambda quick: fig5_startup.run_breakdown(quick=quick),
+    "fig6ab": lambda quick: fig6_p2p.run(quick=quick),
+    "fig6c": lambda quick: fig6_p2p.run_atomics(),
+    "fig7ab": lambda quick: fig7_collectives.run(quick=quick),
+    "fig7c": lambda quick: fig7_collectives.run_barrier(quick=quick),
+    "fig8a": lambda quick: fig8a_nas.run(quick=quick),
+    "fig8b": lambda quick: fig8b_graph500.run(quick=quick),
+    "fig9": lambda quick: fig9_resources.run(quick=quick),
+    "ablation-piggyback": lambda quick: ablation_piggyback.run(),
+    "ablation-pmi": lambda quick: ablation_pmi.run(quick=quick),
+    "ablation-barrier": lambda quick: ablation_barrier.run(quick=quick),
+    "ablation-qp-cache": lambda quick: ablation_qp_cache.run(),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate tables/figures from the paper.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment names")
+    parser.add_argument("--list", action="store_true", help="list names")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale sweeps (slow) instead of quick scale",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.names:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    for name in args.names:
+        fn = EXPERIMENTS.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r} (see --list)", file=sys.stderr)
+            return 2
+        print(fn(not args.full).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""One module per paper table/figure (see DESIGN.md experiment index)."""
+
+from . import (
+    ablation_barrier,
+    ablation_piggyback,
+    ablation_pmi,
+    ablation_qp_cache,
+    fig1_breakdown,
+    fig2_radar,
+    fig5_startup,
+    fig6_p2p,
+    fig7_collectives,
+    fig8a_nas,
+    fig8b_graph500,
+    fig9_resources,
+    table1_peers,
+)
+
+__all__ = [
+    "fig1_breakdown",
+    "table1_peers",
+    "fig2_radar",
+    "fig5_startup",
+    "fig6_p2p",
+    "fig7_collectives",
+    "fig8a_nas",
+    "fig8b_graph500",
+    "fig9_resources",
+    "ablation_piggyback",
+    "ablation_pmi",
+    "ablation_barrier",
+    "ablation_qp_cache",
+]

@@ -1,0 +1,27 @@
+"""Least-squares projection used by Figure 9.
+
+The paper fits a linear regression through the measured per-process
+endpoint counts at 64/256/1024 processes and projects 4,096.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["linear_fit", "project"]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Returns (slope, intercept) of the least-squares line."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need >= 2 paired points")
+    slope, intercept = np.polyfit(np.asarray(xs, float), np.asarray(ys, float), 1)
+    return float(slope), float(intercept)
+
+
+def project(xs: Sequence[float], ys: Sequence[float], x_new: float) -> float:
+    """Fit on (xs, ys) and evaluate at ``x_new`` (paper: 4096 PEs)."""
+    slope, intercept = linear_fit(xs, ys)
+    return slope * x_new + intercept

@@ -1,0 +1,61 @@
+"""Experiment plumbing shared by all figure/table harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..cluster import Cluster, cluster_a, cluster_b
+from ..core import Job, JobResult, RuntimeConfig
+
+__all__ = ["ExperimentResult", "run_job", "CURRENT", "PROPOSED"]
+
+#: The paper's two design points.
+CURRENT = RuntimeConfig.current()
+PROPOSED = RuntimeConfig.proposed()
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment returns."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]]
+    note: str = ""
+    #: Free-form extras (raw JobResults, fits, ...) for tests.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        from .tables import render_table
+
+        return render_table(
+            f"{self.experiment}: {self.title}", self.columns, self.rows,
+            note=self.note or None,
+        )
+
+    def csv(self) -> str:
+        from .tables import rows_to_csv
+
+        return rows_to_csv(self.columns, self.rows)
+
+
+def run_job(
+    app,
+    npes: int,
+    config: RuntimeConfig,
+    testbed: str = "A",
+    ppn: Optional[int] = None,
+    **config_overrides,
+) -> JobResult:
+    """Run one job on the named paper testbed (A or B)."""
+    if config_overrides:
+        config = config.evolve(**config_overrides)
+    if testbed == "A":
+        cluster = cluster_a(npes, ppn=ppn or 8)
+    elif testbed == "B":
+        cluster = cluster_b(npes, ppn=ppn or 16)
+    else:
+        raise ValueError(f"unknown testbed {testbed!r}")
+    return Job(npes=npes, config=config, cluster=cluster).run(app)

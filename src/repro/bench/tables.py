@@ -1,0 +1,55 @@
+"""Plain-text table / CSV rendering for experiment output.
+
+Every experiment produces rows the same way the paper's tables and
+figure series read, and renders them with :func:`render_table` so
+``pytest benchmarks/ --benchmark-only`` output is directly comparable
+with the paper.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "rows_to_csv", "fmt_us", "fmt_ratio"]
+
+
+def fmt_us(us: float) -> str:
+    """Human scale for a microsecond quantity."""
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.2f}us"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.2f}x"
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 note: Optional[str] = None) -> str:
+    """Fixed-width table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    out = io.StringIO()
+    out.write(f"\n=== {title} ===\n")
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in cells:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    if note:
+        out.write(f"note: {note}\n")
+    return out.getvalue()
+
+
+def rows_to_csv(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(str(c) for c in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,5 @@
+"""Co-Array Fortran–style layer over the same conduit (paper future work)."""
+
+from .coarray import Coarray, caf_co_sum, caf_sync_all, caf_sync_images
+
+__all__ = ["Coarray", "caf_sync_all", "caf_sync_images", "caf_co_sum"]

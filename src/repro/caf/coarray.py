@@ -1,0 +1,173 @@
+"""Co-Array Fortran–style coarrays over the OpenSHMEM runtime.
+
+The second half of the paper's future-work sentence ("other PGAS
+languages such as UPC or CAF"): a coarray is a symmetric array with one
+*image* (copy) per PE, addressed as ``A(i)[img]``.  Like the UPC layer,
+this sits entirely on the conduit/segment machinery and inherits
+on-demand connections and piggybacked keys unchanged.
+
+CAF idioms::
+
+    A = Coarray(pe, shape=(8,), dtype=np.float64)
+    A.local[:] = ...                       # A(:) on this image
+    x = yield from A.get((3,), img)        # x = A(4)[img+1]  (0-based here)
+    yield from A.put((0,), img, 7.0)       # A(1)[img+1] = 7.0
+    yield from caf_sync_all(pe)            # SYNC ALL
+    yield from caf_sync_images(pe, [img])  # SYNC IMAGES
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShmemError
+
+__all__ = ["Coarray", "caf_sync_all", "caf_sync_images", "caf_co_sum"]
+
+
+class Coarray:
+    """A symmetric array with one image per PE (dense, any rank)."""
+
+    def __init__(self, pe, shape: Sequence[int], dtype=np.float64) -> None:
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s <= 0 for s in shape):
+            raise ShmemError(f"invalid coarray shape {shape}")
+        self.pe = pe
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.size = int(np.prod(shape))
+        self.addr = pe.shmalloc(self.size * self.dtype.itemsize)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_images(self) -> int:
+        """num_images()."""
+        return self.pe.npes
+
+    @property
+    def this_image(self) -> int:
+        """this_image() (0-based here, unlike Fortran's 1-based)."""
+        return self.pe.mype
+
+    @property
+    def local(self) -> np.ndarray:
+        """The local image, as a writable ndarray view."""
+        return self.pe.view(self.addr, self.dtype, self.size).reshape(
+            self.shape
+        )
+
+    def _offset(self, index: Tuple[int, ...]) -> int:
+        if len(index) != len(self.shape):
+            raise ShmemError(
+                f"coarray index rank {len(index)} != array rank "
+                f"{len(self.shape)}"
+            )
+        for i, (idx, extent) in enumerate(zip(index, self.shape)):
+            if not (0 <= idx < extent):
+                raise ShmemError(
+                    f"coarray index {idx} out of bounds for dim {i} "
+                    f"(extent {extent})"
+                )
+        return int(np.ravel_multi_index(index, self.shape))
+
+    # ------------------------------------------------------------------
+    def get(self, index: Tuple[int, ...], image: int) -> Generator:
+        """``x = A(index)[image]`` — remote scalar read."""
+        off = self._offset(index)
+        addr = self.addr + off * self.dtype.itemsize
+        if image == self.this_image:
+            return self.local.flat[off].item()
+        data = yield from self.pe.get(image, addr, self.dtype.itemsize)
+        return np.frombuffer(data, dtype=self.dtype)[0].item()
+
+    def put(self, index: Tuple[int, ...], image: int, value) -> Generator:
+        """``A(index)[image] = value`` — remote scalar write."""
+        off = self._offset(index)
+        addr = self.addr + off * self.dtype.itemsize
+        payload = self.dtype.type(value).tobytes()
+        if image == self.this_image:
+            self.pe.heap.write(addr, payload)
+            return
+        yield from self.pe.put(image, addr, payload)
+
+    def get_slab(self, start: Tuple[int, ...], count: int,
+                 image: int) -> Generator:
+        """Contiguous (row-major) slab read of ``count`` elements."""
+        off = self._offset(start)
+        if off + count > self.size:
+            raise ShmemError("coarray slab extends past the array")
+        addr = self.addr + off * self.dtype.itemsize
+        if image == self.this_image:
+            flat = self.local.reshape(-1)
+            return flat[off:off + count].copy()
+        data = yield from self.pe.get(
+            image, addr, count * self.dtype.itemsize
+        )
+        return np.frombuffer(data, dtype=self.dtype).copy()
+
+    def put_slab(self, start: Tuple[int, ...], image: int,
+                 values: np.ndarray) -> Generator:
+        """Contiguous (row-major) slab write."""
+        values = np.ascontiguousarray(values, dtype=self.dtype).reshape(-1)
+        off = self._offset(start)
+        if off + len(values) > self.size:
+            raise ShmemError("coarray slab extends past the array")
+        addr = self.addr + off * self.dtype.itemsize
+        if image == self.this_image:
+            flat = self.local.reshape(-1)
+            flat[off:off + len(values)] = values
+            return
+        yield from self.pe.put(image, addr, values.tobytes())
+
+
+def caf_sync_all(pe) -> Generator:
+    """SYNC ALL (maps to shmem_barrier_all on the unified runtime)."""
+    yield from pe.barrier_all()
+
+
+def caf_sync_images(pe, images: Sequence[int]) -> Generator:
+    """SYNC IMAGES: pairwise notify + wait with each named image.
+
+    Implemented with remote atomic increments on a dedicated sync cell
+    per direction, matching the point-to-point semantics (only the
+    named images synchronise, nobody else blocks).
+    """
+    images = sorted(set(int(i) for i in images))
+    if any(not (0 <= i < pe.npes) for i in images):
+        raise ShmemError("sync images: image out of range")
+    cells = getattr(pe, "_caf_sync_cells", None)
+    if cells is None:
+        # One counter per possible partner, allocated symmetrically on
+        # first use (all PEs must use SYNC IMAGES symmetrically).
+        addr = pe.shmalloc(8 * pe.npes)
+        pe._caf_sync_cells = addr
+        pe._caf_sync_seen = [0] * pe.npes
+        cells = addr
+    for img in images:
+        if img == pe.mype:
+            continue
+        # Notify: bump my slot at the partner.
+        yield from pe.atomic_inc(img, cells + 8 * pe.mype)
+    for img in images:
+        if img == pe.mype:
+            continue
+        pe._caf_sync_seen[img] += 1
+        yield from pe.wait_until(
+            cells + 8 * img, "ge", pe._caf_sync_seen[img]
+        )
+
+
+def caf_co_sum(pe, value: float, dtype=np.float64) -> Generator:
+    """CO_SUM: collective sum with the result on every image."""
+    itemsize = np.dtype(dtype).itemsize
+    src = pe.shmalloc(itemsize)
+    dst = pe.shmalloc(itemsize)
+    pe.view(src, dtype, 1)[0] = value
+    yield from pe.reduce(src, dst, 1, dtype, "sum")
+    result = pe.view(dst, dtype, 1)[0].item()
+    pe.shfree(src)
+    pe.shfree(dst)
+    return result

@@ -1,0 +1,15 @@
+"""Cluster topology and calibrated cost models."""
+
+from .params import CostModel
+from .presets import CLUSTER_A_COST, CLUSTER_B_COST, cluster_a, cluster_b
+from .topology import Cluster, Placement
+
+__all__ = [
+    "CostModel",
+    "Cluster",
+    "Placement",
+    "CLUSTER_A_COST",
+    "CLUSTER_B_COST",
+    "cluster_a",
+    "cluster_b",
+]

@@ -1,0 +1,188 @@
+"""Calibrated cost models.
+
+Every latency, bandwidth, overhead and capacity knob used anywhere in
+the simulator lives here, in one frozen dataclass, so that
+
+* protocol code contains *no* magic numbers, and
+* the two cluster presets (:mod:`repro.cluster.presets`) are pure data.
+
+All times are **microseconds**, all sizes **bytes**, all bandwidths
+**bytes per microsecond** (1 GB/s == 1000 B/us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All tunable costs for one simulated cluster.
+
+    The defaults are the Cluster-A (OSU Westmere + QDR) calibration;
+    presets build variants via :meth:`evolve`.
+    """
+
+    # ------------------------------------------------------------------
+    # InfiniBand verbs / HCA
+    # ------------------------------------------------------------------
+    #: CPU+HCA time to create a UD queue pair.
+    ud_qp_create_us: float = 30.0
+    #: CPU+HCA time to create an RC queue pair (larger context).
+    rc_qp_create_us: float = 55.0
+    #: QP state transitions (RESET->INIT, INIT->RTR, RTR->RTS).  RTR is
+    #: by far the most expensive on real hardware (path resolution,
+    #: context load).
+    qp_modify_init_us: float = 8.0
+    qp_modify_rtr_us: float = 85.0
+    qp_modify_rts_us: float = 40.0
+    #: QP teardown including the per-connection disconnect exchange the
+    #: connection manager performs at finalize.
+    qp_destroy_us: float = 900.0
+    #: Memory registration: page pinning + HCA translation-table update
+    #: (~2.4 ms/MB matches the few-hundred-MB/s pinning rates of the
+    #: paper's era).
+    mr_register_base_us: float = 60.0
+    mr_register_per_mb_us: float = 2400.0
+    mr_deregister_us: float = 25.0
+    #: CPU overhead of posting one work request / polling one completion.
+    post_wr_us: float = 0.30
+    poll_cq_us: float = 0.15
+
+    #: HCA on-board QP-context cache: number of QP contexts that fit.
+    #: Traffic on QPs beyond this working set pays a per-message
+    #: context-fetch penalty (paper Section I, drawback 3).
+    qp_cache_entries: int = 128
+    qp_cache_miss_penalty_us: float = 1.1
+
+    #: Host memory charged per queue pair (send/recv WQEs + context).
+    rc_qp_memory_bytes: int = 88 * 1024
+    ud_qp_memory_bytes: int = 24 * 1024
+    #: Per-connection bookkeeping in the runtime (addr handles, flow
+    #: control state).
+    conn_state_bytes: int = 4 * 1024
+
+    # ------------------------------------------------------------------
+    # Fabric (data network)
+    # ------------------------------------------------------------------
+    #: One-way wire + NIC traversal latency between two nodes that share
+    #: a leaf switch.
+    fabric_base_latency_us: float = 0.9
+    #: Extra latency per additional switch hop (2 extra hops when
+    #: crossing the spine).
+    fabric_hop_latency_us: float = 0.25
+    #: Link bandwidth in bytes/us (QDR 32 Gb/s ~ 4000 B/us).
+    fabric_bandwidth: float = 4000.0
+    #: Leaf switch radix: nodes per leaf switch.
+    leaf_radix: int = 18
+    #: Intra-node (shared-memory) transport.
+    intra_node_latency_us: float = 0.35
+    intra_node_bandwidth: float = 11000.0
+    #: Extra round-trip charged to RDMA reads and to atomics.
+    rdma_read_extra_us: float = 1.0
+    atomic_extra_us: float = 0.9
+
+    # ------------------------------------------------------------------
+    # UD reliability model
+    # ------------------------------------------------------------------
+    ud_mtu_bytes: int = 2048
+    ud_loss_prob: float = 0.0005
+    ud_duplicate_prob: float = 0.0001
+    ud_retry_timeout_us: float = 800.0
+    ud_max_retries: int = 12
+
+    # ------------------------------------------------------------------
+    # PMI / out-of-band network (management Ethernet, TCP)
+    # ------------------------------------------------------------------
+    #: Client <-> node-local PMI daemon (unix socket / loopback).
+    pmi_local_rtt_us: float = 6.0
+    #: Daemon <-> daemon TCP hop latency.
+    pmi_tcp_latency_us: float = 35.0
+    #: Effective daemon <-> daemon TCP bandwidth (1 GbE management
+    #: network with per-message RPC framing overheads).
+    pmi_tcp_bandwidth: float = 40.0
+    #: Fixed CPU time for a daemon to handle one request.
+    pmi_server_cpu_us: float = 3.0
+    #: Encoded size of one KVS entry (key + value + framing).
+    pmi_entry_bytes: int = 96
+    #: Fan-out of the daemon tree used for fence/allgather.
+    pmi_tree_fanout: int = 2
+    #: Per-KVS-entry CPU time a daemon spends parsing/serialising entries
+    #: during fence/allgather data movement (PMI wire format is ASCII).
+    pmi_entry_cpu_us: float = 2.0
+
+    # ------------------------------------------------------------------
+    # Conduit (GASNet-like) costs
+    # ------------------------------------------------------------------
+    #: CPU time to run one active-message handler.
+    am_handler_cpu_us: float = 0.5
+    #: CPU cost per on-demand connect request/reply processed by the
+    #: connection-manager thread (Fig. 4 protocol).
+    conn_handshake_cpu_us: float = 3.0
+    #: Extra per-connection CPU charged during *static* bulk wire-up
+    #: (request construction, KVS parsing, bookkeeping for each peer).
+    static_wireup_per_peer_us: float = 30.0
+
+    # ------------------------------------------------------------------
+    # Job launch / startup
+    # ------------------------------------------------------------------
+    #: Process-arrival skew: PE i begins start_pes at a uniformly random
+    #: offset in [0, launch_skew_us].
+    launch_skew_us: float = 1500.0
+    #: Shared-memory segment creation + attach during init, per node
+    #: base plus per local rank.
+    shm_setup_base_us: float = 180_000.0
+    shm_setup_per_rank_us: float = 12_000.0
+    #: Fixed "other" init work (symmetric heap bookkeeping, env parsing).
+    init_misc_us: float = 120_000.0
+    #: Job-launcher overhead outside start_pes (fork/exec, stdio wiring)
+    #: counted in wall-clock application time.
+    launch_overhead_us: float = 200_000.0
+    #: Default symmetric heap size registered with the HCA at init.
+    symmetric_heap_mb: float = 256.0
+    #: Intra-node (shared memory) barrier cost per participant round.
+    shm_barrier_us: float = 1.8
+
+    # ------------------------------------------------------------------
+    # Application compute scaling
+    # ------------------------------------------------------------------
+    #: Multiplier applied to every modelled compute delay (lets the
+    #: Sandy Bridge preset run "faster" than Westmere).
+    compute_scale: float = 1.0
+
+    def evolve(self, **overrides) -> "CostModel":
+        """A copy with the given fields replaced (presets use this)."""
+        return replace(self, **overrides)
+
+    # -- derived helpers -------------------------------------------------
+    def mr_register_us(self, size_bytes: int) -> float:
+        """Registration cost for a region of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("negative region size")
+        return self.mr_register_base_us + self.mr_register_per_mb_us * (
+            size_bytes / (1024.0 * 1024.0)
+        )
+
+    def wire_time(self, nbytes: int, hops: int) -> float:
+        """Inter-node latency+serialisation for one fabric traversal."""
+        return (
+            self.fabric_base_latency_us
+            + self.fabric_hop_latency_us * max(0, hops - 1)
+            + nbytes / self.fabric_bandwidth
+        )
+
+    def intra_node_time(self, nbytes: int) -> float:
+        """Shared-memory transfer time within one node."""
+        return self.intra_node_latency_us + nbytes / self.intra_node_bandwidth
+
+    def pmi_tcp_time(self, nbytes: int) -> float:
+        """One daemon-to-daemon TCP message."""
+        return self.pmi_tcp_latency_us + nbytes / self.pmi_tcp_bandwidth
+
+    def as_dict(self) -> Dict[str, float]:
+        from dataclasses import asdict
+
+        return asdict(self)

@@ -1,0 +1,45 @@
+"""Cluster presets matching the paper's two testbeds (Section V-A).
+
+* **Cluster-A** — 144 nodes, dual quad-core Westmere 2.67 GHz, Mellanox
+  ConnectX QDR (32 Gb/s).  Microbenchmarks, NAS, Graph500 ran here,
+  fully subscribed at 8 processes per node.
+* **Cluster-B** — TACC Stampede: dual 8-core Sandy Bridge 2.7 GHz,
+  ConnectX-3 FDR (56 Gb/s).  Startup experiments (Figures 1 and 5) ran
+  here at 16 processes per node.
+
+The absolute values are calibrations, not measurements: they were tuned
+so the *shapes* of the paper's figures reproduce (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from .params import CostModel
+from .topology import Cluster
+
+__all__ = ["CLUSTER_A_COST", "CLUSTER_B_COST", "cluster_a", "cluster_b"]
+
+
+#: OSU Westmere + QDR ConnectX (the CostModel defaults).
+CLUSTER_A_COST = CostModel()
+
+#: Stampede: faster fabric (FDR, 7000 B/us), bigger leaf switches,
+#: slightly faster CPUs, larger management network and higher PMI
+#: daemon fan-out (SLURM tree).
+CLUSTER_B_COST = CostModel().evolve(
+    fabric_bandwidth=7000.0,
+    fabric_base_latency_us=0.7,
+    leaf_radix=20,
+    compute_scale=0.85,
+    pmi_tree_fanout=2,
+    pmi_tcp_latency_us=40.0,
+)
+
+
+def cluster_a(npes: int, ppn: int = 8) -> Cluster:
+    """Cluster-A sized for ``npes`` ranks (default fully subscribed)."""
+    return Cluster(npes=npes, ppn=ppn, cost=CLUSTER_A_COST, name="Cluster-A")
+
+
+def cluster_b(npes: int, ppn: int = 16) -> Cluster:
+    """Cluster-B (Stampede) sized for ``npes`` ranks."""
+    return Cluster(npes=npes, ppn=ppn, cost=CLUSTER_B_COST, name="Cluster-B")

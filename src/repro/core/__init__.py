@@ -1,0 +1,7 @@
+"""Core: runtime configuration, the job launcher, metrics."""
+
+from .config import RuntimeConfig
+from .job import Job
+from .metrics import JobResult, ResourceReport, StartupReport
+
+__all__ = ["RuntimeConfig", "Job", "JobResult", "ResourceReport", "StartupReport"]

@@ -1,0 +1,87 @@
+"""Runtime configuration: the paper's design axes as data.
+
+The paper's "Current Design" and "Proposed Design" are the two preset
+corners; ablations mix the axes independently (e.g. static connections
+with non-blocking PMI, Section IV-D's observation that the overlap
+cannot help the static scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+__all__ = ["RuntimeConfig"]
+
+_CONNECTION_MODES = ("static", "ondemand")
+_PMI_MODES = ("blocking", "nonblocking")
+_BARRIER_MODES = ("global", "intranode")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One point in the design space evaluated by the paper."""
+
+    #: ``static`` (full wire-up at init) or ``ondemand`` (Fig. 4).
+    connection_mode: str = "ondemand"
+    #: ``blocking`` Put/Fence/Get or ``nonblocking`` PMIX_Iallgather.
+    pmi_mode: str = "nonblocking"
+    #: Barriers inside start_pes: ``global`` or ``intranode``.
+    barrier_mode: str = "intranode"
+    #: On-demand only: piggyback segment keys on the connect handshake
+    #: (Section IV-C).  When False, the runtime sends a separate
+    #: request/reply exchange after connecting — the baseline
+    #: inefficiency #2 the paper eliminates (ablation D1).
+    piggyback_segments: bool = True
+    #: Symmetric heap size (MB) registered at init — drives the
+    #: memory-registration cost, as on the real systems.
+    heap_mb: float = 256.0
+    #: Real backing buffer per PE (KB) actually materialised for data.
+    #: Raise for data-heavy apps; see SymmetricHeap.
+    heap_backing_kb: int = 64
+    #: RNG master seed for the whole job.
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.connection_mode not in _CONNECTION_MODES:
+            raise ConfigError(f"connection_mode must be one of {_CONNECTION_MODES}")
+        if self.pmi_mode not in _PMI_MODES:
+            raise ConfigError(f"pmi_mode must be one of {_PMI_MODES}")
+        if self.barrier_mode not in _BARRIER_MODES:
+            raise ConfigError(f"barrier_mode must be one of {_BARRIER_MODES}")
+        if self.heap_mb <= 0:
+            raise ConfigError("heap_mb must be positive")
+        if self.heap_backing_kb <= 0:
+            raise ConfigError("heap_backing_kb must be positive")
+
+    # -- the paper's two corners ------------------------------------------
+    @classmethod
+    def current(cls, **overrides) -> "RuntimeConfig":
+        """The baseline: static connections, blocking PMI, global barriers."""
+        return cls(
+            connection_mode="static", pmi_mode="blocking",
+            barrier_mode="global",
+        ).evolve(**overrides)
+
+    @classmethod
+    def proposed(cls, **overrides) -> "RuntimeConfig":
+        """The paper's design: on-demand + PMIX_Iallgather + intra-node."""
+        return cls(
+            connection_mode="ondemand", pmi_mode="nonblocking",
+            barrier_mode="intranode",
+        ).evolve(**overrides)
+
+    # Friendly aliases.
+    static = current
+    on_demand = proposed
+
+    def evolve(self, **overrides) -> "RuntimeConfig":
+        return replace(self, **overrides)
+
+    @property
+    def label(self) -> str:
+        """Short label for tables ("static+blocking+global")."""
+        return (
+            f"{self.connection_mode}+{self.pmi_mode}+{self.barrier_mode}"
+        )

@@ -1,0 +1,158 @@
+"""The job launcher: assembles a machine, runs an application, reports.
+
+``Job`` is the package's main entry point::
+
+    from repro.core import Job, RuntimeConfig
+    from repro.apps import HelloWorld
+
+    result = Job(npes=256, config=RuntimeConfig.proposed()).run(HelloWorld())
+    print(result.startup.phase_means, result.wall_time_s)
+
+One ``Job`` builds one fully wired simulated machine — fabric, HCAs,
+PMI daemon tree, conduits, OpenSHMEM PEs (and an MPI communicator per
+PE for hybrid apps) — spawns every PE's main process with a realistic
+launch skew, and runs the discrete-event simulation to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..cluster import Cluster, cluster_a
+from ..errors import ConfigError
+from ..gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
+from ..ib import HCA, Fabric, VerbsContext
+from ..mpi import Communicator
+from ..pmi import PMIClient, PMIDomain
+from ..shmem import ShmemPE
+from ..sim import Barrier, Counters, RngRegistry, Simulator, spawn
+from .config import RuntimeConfig
+from .metrics import JobResult, ResourceReport, StartupReport
+
+__all__ = ["Job"]
+
+
+class Job:
+    """One simulated job launch."""
+
+    def __init__(
+        self,
+        npes: int,
+        config: Optional[RuntimeConfig] = None,
+        cluster: Optional[Cluster] = None,
+        cluster_factory: Optional[Callable[[int], Cluster]] = None,
+    ) -> None:
+        if npes < 1:
+            raise ConfigError("npes must be >= 1")
+        self.config = config or RuntimeConfig.proposed()
+        if cluster is not None:
+            self.cluster = cluster
+        else:
+            factory = cluster_factory or cluster_a
+            self.cluster = factory(npes)
+        if self.cluster.npes != npes:
+            raise ConfigError(
+                f"cluster sized for {self.cluster.npes} PEs, job wants {npes}"
+            )
+        self.npes = npes
+
+        # -- machine assembly ------------------------------------------
+        self.sim = Simulator()
+        self.counters = Counters()
+        self.rng = RngRegistry(self.config.seed)
+        self.fabric = Fabric(self.sim, self.cluster, self.rng, self.counters)
+        cost = self.cluster.cost
+        self.hcas = [
+            HCA(self.sim, self.fabric, node=n, lid=0x100 + n,
+                cost=cost, counters=self.counters)
+            for n in range(self.cluster.nnodes)
+        ]
+        self.ctxs = [
+            VerbsContext(
+                self.sim, self.hcas[self.cluster.node_of(r)], r, cost,
+                self.counters,
+            )
+            for r in range(npes)
+        ]
+        self.pmi_domain = PMIDomain(self.sim, self.cluster, self.counters)
+        self.pmi = [PMIClient(self.pmi_domain, r) for r in range(npes)]
+        self.network = ConduitNetwork()
+        conduit_cls = (
+            StaticConduit if self.config.connection_mode == "static"
+            else OnDemandConduit
+        )
+        self.conduits = [
+            conduit_cls(
+                self.sim, self.network, self.ctxs[r], self.cluster,
+                self.pmi[r], r,
+            )
+            for r in range(npes)
+        ]
+        self.pes = [
+            ShmemPE(
+                self.sim, r, self.cluster, self.ctxs[r], self.conduits[r],
+                self.pmi[r], self.counters, self.config,
+            )
+            for r in range(npes)
+        ]
+        registry: Dict[int, ShmemPE] = {r: pe for r, pe in enumerate(self.pes)}
+        node_barriers = [
+            Barrier(self.sim, parties=len(self.cluster.ranks_on_node(n)))
+            for n in range(self.cluster.nnodes)
+        ]
+        for r, pe in enumerate(self.pes):
+            pe.install_peer_registry(registry)
+            pe.node_barrier = node_barriers[self.cluster.node_of(r)]
+
+    # ------------------------------------------------------------------
+    def run(self, app) -> JobResult:
+        """Launch ``app`` on every PE and simulate to completion."""
+        skew_rng = self.rng.stream("launch-skew")
+        skews = skew_rng.uniform(0.0, self.cluster.cost.launch_skew_us,
+                                 size=self.npes)
+        uses_mpi = getattr(app, "uses_mpi", False)
+        app_done_at: List[float] = [0.0] * self.npes
+        all_done_at: List[float] = [0.0] * self.npes
+        results: List = [None] * self.npes
+
+        def pe_main(rank: int):
+            pe = self.pes[rank]
+            yield self.sim.timeout(float(skews[rank]))
+            yield from pe.start_pes()
+            if uses_mpi:
+                pe.mpi = Communicator(pe)
+            value = yield from app.run(pe)
+            app_done_at[rank] = self.sim.now
+            results[rank] = value
+            pe.snapshot_resources()
+            yield from pe.finalize()
+            all_done_at[rank] = self.sim.now
+
+        procs = [
+            spawn(self.sim, pe_main(r), name=f"pe{r}") for r in range(self.npes)
+        ]
+        done = {"ok": False}
+
+        def join_all(sim):
+            yield sim.all_of(procs)
+            done["ok"] = True
+
+        spawn(self.sim, join_all(self.sim), name="join")
+        self.sim.run()
+        if not done["ok"]:
+            raise RuntimeError(
+                "job did not complete: a PE is deadlocked "
+                "(event queue drained with processes still waiting)"
+            )
+
+        launch = self.cluster.cost.launch_overhead_us
+        return JobResult(
+            npes=self.npes,
+            config_label=self.config.label,
+            wall_time_us=launch + max(all_done_at),
+            app_done_us=launch + max(app_done_at),
+            startup=StartupReport.from_pes(self.pes),
+            resources=ResourceReport.from_pes(self.pes),
+            app_results=results,
+            counters=self.counters.as_dict(),
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy shared across the repro stack."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "VerbsError",
+    "QPStateError",
+    "MemoryRegistrationError",
+    "RemoteAccessError",
+    "PMIError",
+    "ConduitError",
+    "ShmemError",
+    "MPIError",
+    "ConfigError",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class for all library errors."""
+
+
+class VerbsError(ReproError):
+    """Misuse of the simulated verbs interface."""
+
+
+class QPStateError(VerbsError):
+    """Operation attempted on a QP in the wrong state."""
+
+
+class MemoryRegistrationError(VerbsError):
+    """Invalid memory registration or rkey/lkey lookup."""
+
+
+class RemoteAccessError(VerbsError):
+    """RDMA/atomic access outside a registered region or with a bad rkey."""
+
+
+class PMIError(ReproError):
+    """PMI client/server protocol error."""
+
+
+class ConduitError(ReproError):
+    """GASNet-like conduit error."""
+
+
+class ShmemError(ReproError):
+    """OpenSHMEM semantic error (bad symmetric address, use before init...)."""
+
+
+class MPIError(ReproError):
+    """MPI layer error."""
+
+
+class ConfigError(ReproError):
+    """Invalid runtime configuration."""

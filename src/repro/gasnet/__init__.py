@@ -1,0 +1,22 @@
+"""GASNet-like conduits: active messages, static and on-demand wiring."""
+
+from .conduit import Conduit, ConduitNetwork, Connection
+from .messages import ActiveMessage, ConnectReply, ConnectRequest
+from .ondemand_conduit import OnDemandConduit
+from .segment import SegmentInfo, SegmentTable, decode_segments, encode_segments
+from .static_conduit import StaticConduit
+
+__all__ = [
+    "Conduit",
+    "ConduitNetwork",
+    "Connection",
+    "ActiveMessage",
+    "ConnectRequest",
+    "ConnectReply",
+    "OnDemandConduit",
+    "StaticConduit",
+    "SegmentInfo",
+    "SegmentTable",
+    "encode_segments",
+    "decode_segments",
+]

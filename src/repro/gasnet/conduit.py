@@ -1,0 +1,520 @@
+"""Base conduit: endpoints, progress engine, active messages, RMA.
+
+The conduit is the GASNet-like layer between the runtime (OpenSHMEM /
+MPI) and the verbs substrate.  One conduit object per PE.  Concrete
+subclasses decide *when connections are made*:
+
+* :class:`repro.gasnet.static_conduit.StaticConduit` — full wire-up at
+  init (the ibv-conduit behaviour the paper starts from);
+* :class:`repro.gasnet.ondemand_conduit.OnDemandConduit` — the paper's
+  contribution: UD handshake on first communication, with the upper
+  layer's *exchange payload* (segment keys) piggybacked.
+
+Design notes
+------------
+* All PEs of a node share the node's HCA; **intra-node** peers use a
+  shared-memory path (no QPs, no connections) — this matches the
+  MVAPICH2-X unified runtime and is what makes the paper's intra-node
+  barrier free of fabric connections.
+* Each PE runs a **progress process** (the paper's "connection manager
+  thread", Fig. 4) draining one shared receive CQ: UD handshake
+  packets and RC active messages both land there.
+* Blocking RMA/AM operations serialise per connection (a lock models
+  non-thread-safe QP posting); handlers run in the progress process and
+  must never initiate AMs themselves (documented no-deadlock rule —
+  collectives put all sends in the main process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..cluster import Cluster
+from ..errors import ConduitError
+from ..ib import (
+    CompletionQueue,
+    EndpointAddress,
+    RCQueuePair,
+    UDQueuePair,
+    VerbsContext,
+    WorkCompletion,
+)
+from ..ib.types import Opcode
+from ..pmi import PMIClient, PMIHandle
+from ..sim import Semaphore, SimEvent, Simulator, spawn
+from .messages import ActiveMessage, ConnectReply, ConnectRequest
+
+__all__ = ["Conduit", "ConduitNetwork", "Connection"]
+
+
+class ConduitNetwork:
+    """Registry of every PE's conduit in one job (for intra-node paths
+    and lazy QP materialisation)."""
+
+    def __init__(self) -> None:
+        self._conduits: Dict[int, "Conduit"] = {}
+        #: Job-wide memo for bootstrap data that is identical on every
+        #: PE (e.g. the parsed UD directory) — avoids O(N^2) Python
+        #: work at scale.  Timing is still charged per PE.
+        self.shared_cache: Dict[str, Any] = {}
+
+    def register(self, conduit: "Conduit") -> None:
+        self._conduits[conduit.rank] = conduit
+
+    def peer(self, rank: int) -> "Conduit":
+        return self._conduits[rank]
+
+    def __len__(self) -> int:
+        return len(self._conduits)
+
+
+@dataclass
+class Connection:
+    """An established RC connection to one remote peer."""
+
+    peer: int
+    qp: RCQueuePair
+    send_cq: CompletionQueue
+    lock: Semaphore
+
+
+class Conduit:
+    """Abstract base conduit (one per PE)."""
+
+    #: Subclass tag used in reports ("static" / "on-demand").
+    mode = "abstract"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: ConduitNetwork,
+        ctx: VerbsContext,
+        cluster: Cluster,
+        pmi: PMIClient,
+        rank: int,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.ctx = ctx
+        self.cluster = cluster
+        self.cost = cluster.cost
+        self.pmi = pmi
+        self.rank = rank
+        self.counters = ctx.counters
+
+        self._handlers: Dict[str, Callable] = {}
+        self._conns: Dict[int, Connection] = {}
+        self._recv_cq: Optional[CompletionQueue] = None
+        self._ud_send_cq: Optional[CompletionQueue] = None
+        self.ud_qp: Optional[UDQueuePair] = None
+
+        #: rank -> EndpointAddress of every peer's UD QP, or None until
+        #: resolved (possibly from a non-blocking PMI handle).
+        self._ud_directory: Optional[Dict[int, EndpointAddress]] = None
+        self._dir_handle: Optional[PMIHandle] = None
+        self._dir_parser: Optional[Callable[[Any], EndpointAddress]] = None
+
+        #: Opaque blob piggybacked on connect request/reply.
+        self._exchange_payload: bytes = b""
+        #: Callback(peer, payload_bytes) when a peer's blob arrives.
+        self._payload_cb: Optional[Callable[[int, bytes], None]] = None
+
+        #: Server-side readiness (Section IV-E: replies are held until
+        #: the PE has registered its own segments).
+        self._ready = False
+        self._held_requests: List[ConnectRequest] = []
+
+        #: Distinct peers this PE initiated communication with over any
+        #: path (fabric or intra-node) — what Table I counts.
+        self.touched_peers: set = set()
+
+        #: Non-blocking-implicit RMA tracking (shmem_*_nbi + quiet).
+        self._nbi_outstanding = 0
+        self._nbi_drained: Optional[SimEvent] = None
+
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def init_endpoint(self) -> Generator:
+        """Create the UD endpoint + shared CQ and start the progress
+        engine.  Must run before anything else."""
+        self._recv_cq = self.ctx.create_cq("shared-recv")
+        self._ud_send_cq = self.ctx.create_cq("ud-send")
+        self.ud_qp = yield from self.ctx.create_ud_qp(
+            self._ud_send_cq, self._recv_cq
+        )
+        spawn(self.sim, self._progress_loop(), name=f"progress-{self.rank}")
+
+    @property
+    def ud_address(self) -> EndpointAddress:
+        if self.ud_qp is None:
+            raise ConduitError(f"PE {self.rank}: endpoint not initialised")
+        return self.ud_qp.address
+
+    def mark_ready(self) -> None:
+        """Segments registered: serve any held connect requests."""
+        self._ready = True
+        held, self._held_requests = self._held_requests, []
+        for req in held:
+            spawn(
+                self.sim,
+                self._serve_request(req),
+                name=f"held-req-{self.rank}<-{req.src_rank}",
+            )
+
+    def shutdown(self) -> Generator:
+        """Tear down all materialised connections (charged per QP)."""
+        for conn in list(self._conns.values()):
+            yield from self.ctx.destroy_qp(conn.qp)
+        self._conns.clear()
+        if self.ud_qp is not None:
+            yield self.sim.timeout(self.cost.qp_destroy_us)
+            self.ud_qp.destroy()
+
+    # ------------------------------------------------------------------
+    # directory / payload plumbing
+    # ------------------------------------------------------------------
+    def set_ud_directory(self, directory: Dict[int, EndpointAddress]) -> None:
+        """Install a fully resolved rank -> UD address map."""
+        self._ud_directory = directory
+
+    def set_ud_directory_handle(
+        self,
+        handle: PMIHandle,
+        parser: Optional[Callable[[Any], EndpointAddress]] = None,
+    ) -> None:
+        """Install a *pending* directory: a PMIX_Iallgather handle whose
+        per-rank values ``parser`` turns into endpoint addresses
+        (``None`` when the values already are addresses).  The conduit
+        waits on it lazily, at first use (Section IV-D)."""
+        self._dir_handle = handle
+        self._dir_parser = parser
+
+    def resolve_directory(self) -> Generator:
+        """Block until the UD directory is available (PMIX_Wait)."""
+        if self._ud_directory is None:
+            if self._dir_handle is None:
+                raise ConduitError(
+                    f"PE {self.rank}: no UD directory and no pending handle"
+                )
+            result = yield self._dir_handle.wait()
+            if self._dir_parser is None:
+                # Values already are endpoint addresses; every PE shares
+                # the collective's result object.
+                self._ud_directory = result
+            else:
+                cached = self.network.shared_cache.get("ud_directory")
+                if cached is None:
+                    cached = {r: self._dir_parser(v) for r, v in result.items()}
+                    self.network.shared_cache["ud_directory"] = cached
+                self._ud_directory = cached
+        return self._ud_directory
+
+    def set_exchange_payload(self, data: bytes) -> None:
+        """Blob to piggyback on connect packets (opaque to the conduit)."""
+        self._exchange_payload = bytes(data)
+
+    def on_peer_payload(self, callback: Callable[[int, bytes], None]) -> None:
+        self._payload_cb = callback
+
+    def _deliver_payload(self, peer: int, payload: bytes) -> None:
+        if self._payload_cb is not None and payload:
+            self._payload_cb(peer, payload)
+
+    # ------------------------------------------------------------------
+    # connection state
+    # ------------------------------------------------------------------
+    def is_connected(self, peer: int) -> bool:
+        return peer in self._conns
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._conns)
+
+    def connected_peers(self) -> List[int]:
+        return sorted(self._conns)
+
+    def _register_connection(self, peer: int, qp: RCQueuePair,
+                             send_cq: CompletionQueue) -> Connection:
+        conn = Connection(
+            peer=peer, qp=qp, send_cq=send_cq, lock=Semaphore(self.sim, 1)
+        )
+        self._conns[peer] = conn
+        self.counters.add("conduit.connections")
+        return conn
+
+    def ensure_connected(self, peer: int) -> Generator:
+        """Guarantee an RC connection to ``peer`` exists (may block)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # progress engine
+    # ------------------------------------------------------------------
+    def _progress_loop(self) -> Generator:
+        while True:
+            wc = yield self._recv_cq.wait()
+            msg = wc.data
+            if isinstance(msg, ConnectRequest):
+                yield from self._on_connect_request(msg)
+            elif isinstance(msg, ConnectReply):
+                yield from self._on_connect_reply(msg)
+            elif isinstance(msg, ActiveMessage):
+                yield self.sim.timeout(self.cost.am_handler_cpu_us)
+                yield from self._dispatch_am(msg)
+            else:  # pragma: no cover - protocol guard
+                raise ConduitError(
+                    f"PE {self.rank}: unexpected message {msg!r}"
+                )
+
+    def _on_connect_request(self, req: ConnectRequest) -> Generator:
+        """Subclasses implement the server side of the handshake."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _on_connect_reply(self, rep: ConnectReply) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _serve_request(self, req: ConnectRequest) -> Generator:
+        yield from self._on_connect_request(req)
+
+    # ------------------------------------------------------------------
+    # active messages
+    # ------------------------------------------------------------------
+    def register_handler(self, name: str, fn: Callable) -> None:
+        """Register AM handler ``fn(src_rank, data)`` (may be a generator).
+
+        Handlers run in the progress process and MUST NOT send AMs or
+        block on remote state (no-deadlock rule).
+        """
+        if name in self._handlers:
+            raise ConduitError(f"duplicate AM handler {name!r}")
+        self._handlers[name] = fn
+
+    def _dispatch_am(self, msg: ActiveMessage) -> Generator:
+        try:
+            fn = self._handlers[msg.handler]
+        except KeyError:
+            raise ConduitError(
+                f"PE {self.rank}: no AM handler {msg.handler!r}"
+            ) from None
+        result = fn(msg.src_rank, msg.data)
+        if hasattr(result, "send"):  # generator handler
+            yield from result
+        else:
+            return
+        if False:  # pragma: no cover
+            yield
+
+    def am_send(self, peer: int, handler: str, data: Any = None,
+                data_bytes: int = 0) -> Generator:
+        """Send an active message (blocks until delivered/acked)."""
+        msg = ActiveMessage(
+            src_rank=self.rank, handler=handler, data=data,
+            data_bytes=data_bytes,
+        )
+        self.counters.add("conduit.am_sent")
+        if peer != self.rank:
+            self.touched_peers.add(peer)
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            yield from self._intra_deliver(peer, msg)
+            return
+        yield from self.ensure_connected(peer)
+        conn = self._conns[peer]
+        yield conn.lock.acquire()
+        try:
+            yield from self.ctx.post_send(conn.qp, msg, msg.nbytes)
+            yield from self.ctx.poll(conn.send_cq)  # ack
+        finally:
+            conn.lock.release()
+
+    def _intra_deliver(self, peer: int, msg: ActiveMessage) -> Generator:
+        """Shared-memory delivery to a same-node peer's progress engine."""
+        yield self.sim.timeout(self.cost.post_wr_us)
+        delay = self.cost.intra_node_time(msg.nbytes)
+        target_cq = self.network.peer(peer)._recv_cq
+        wc = WorkCompletion(
+            wr_id=0, opcode=Opcode.SEND, byte_len=msg.nbytes, data=msg
+        )
+        self.sim._schedule_at(
+            self.sim.now + delay, lambda _a: target_cq.push(wc), None
+        )
+        self.counters.add("conduit.intra_am")
+
+    # ------------------------------------------------------------------
+    # RMA (blocking; see module docstring)
+    # ------------------------------------------------------------------
+    def rdma_put(self, peer: int, data: bytes, raddr: int, rkey: int) -> Generator:
+        self.counters.add("conduit.puts")
+        self.counters.add("conduit.put_bytes", len(data))
+        if peer != self.rank:
+            self.touched_peers.add(peer)
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            yield self.sim.timeout(self.cost.intra_node_time(len(data)))
+            self.network.peer(peer).ctx.mm.rdma_write(raddr, rkey, data)
+            return
+        yield from self.ensure_connected(peer)
+        conn = self._conns[peer]
+        yield conn.lock.acquire()
+        try:
+            yield from self.ctx.post_rdma_write(conn.qp, data, raddr, rkey)
+            yield from self.ctx.poll(conn.send_cq)
+        finally:
+            conn.lock.release()
+
+    def rdma_get(self, peer: int, nbytes: int, raddr: int, rkey: int) -> Generator:
+        self.counters.add("conduit.gets")
+        self.counters.add("conduit.get_bytes", nbytes)
+        if peer != self.rank:
+            self.touched_peers.add(peer)
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            yield self.sim.timeout(self.cost.intra_node_time(nbytes))
+            return self.network.peer(peer).ctx.mm.rdma_read(raddr, rkey, nbytes)
+        yield from self.ensure_connected(peer)
+        conn = self._conns[peer]
+        yield conn.lock.acquire()
+        try:
+            yield from self.ctx.post_rdma_read(conn.qp, nbytes, raddr, rkey)
+            wc = yield from self.ctx.poll(conn.send_cq)
+            return wc.data
+        finally:
+            conn.lock.release()
+
+    def atomic(self, peer: int, op: str, raddr: int, rkey: int,
+               compare: int = 0, operand: int = 0) -> Generator:
+        """64-bit remote atomic; returns the old value."""
+        self.counters.add("conduit.atomics")
+        if peer != self.rank:
+            self.touched_peers.add(peer)
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            yield self.sim.timeout(
+                self.cost.intra_node_time(8) + self.cost.atomic_extra_us
+            )
+            return self.network.peer(peer).ctx.mm.atomic(
+                raddr, rkey, op, compare, operand
+            )
+        yield from self.ensure_connected(peer)
+        conn = self._conns[peer]
+        yield conn.lock.acquire()
+        try:
+            yield from self.ctx.post_atomic(
+                conn.qp, op, raddr, rkey, compare=compare, swap_or_add=operand
+            )
+            wc = yield from self.ctx.poll(conn.send_cq)
+            return wc.data
+        finally:
+            conn.lock.release()
+
+    # ------------------------------------------------------------------
+    # non-blocking-implicit RMA (put_nbi/get_nbi + quiet)
+    # ------------------------------------------------------------------
+    def rdma_put_nbi(self, peer: int, data: bytes, raddr: int,
+                     rkey: int) -> Generator:
+        """Initiate a put and return; completion is implicit (quiet)."""
+        self.counters.add("conduit.nbi_puts")
+        self.counters.add("conduit.put_bytes", len(data))
+        if peer != self.rank:
+            self.touched_peers.add(peer)
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            # Shared-memory path: initiate now, land after the copy time.
+            self._nbi_begin()
+            delay = self.cost.intra_node_time(len(data))
+            target_mm = self.network.peer(peer).ctx.mm
+
+            def _land(_arg) -> None:
+                target_mm.rdma_write(raddr, rkey, data)
+                self._nbi_end()
+
+            self.sim._schedule_at(self.sim.now + delay, _land, None)
+            yield self.sim.timeout(self.cost.post_wr_us)
+            return
+        yield from self.ensure_connected(peer)
+        self._nbi_begin()
+        spawn(
+            self.sim,
+            self._nbi_tracker(peer, "write", bytes(data), 0, raddr, rkey, None),
+            name=f"nbi-put-{self.rank}->{peer}",
+        )
+        yield self.sim.timeout(self.cost.post_wr_us)
+
+    def rdma_get_nbi(self, peer: int, nbytes: int, raddr: int, rkey: int,
+                     on_data: Callable[[bytes], None]) -> Generator:
+        """Initiate a get; ``on_data(bytes)`` runs at completion."""
+        self.counters.add("conduit.nbi_gets")
+        self.counters.add("conduit.get_bytes", nbytes)
+        if peer != self.rank:
+            self.touched_peers.add(peer)
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            self._nbi_begin()
+            delay = self.cost.intra_node_time(nbytes)
+            source_mm = self.network.peer(peer).ctx.mm
+
+            def _land(_arg) -> None:
+                on_data(source_mm.rdma_read(raddr, rkey, nbytes))
+                self._nbi_end()
+
+            self.sim._schedule_at(self.sim.now + delay, _land, None)
+            yield self.sim.timeout(self.cost.post_wr_us)
+            return
+        yield from self.ensure_connected(peer)
+        self._nbi_begin()
+        spawn(
+            self.sim,
+            self._nbi_tracker(peer, "read", None, nbytes, raddr, rkey, on_data),
+            name=f"nbi-get-{self.rank}<-{peer}",
+        )
+        yield self.sim.timeout(self.cost.post_wr_us)
+
+    def _nbi_tracker(self, peer: int, op: str, data, nbytes: int,
+                     raddr: int, rkey: int, on_data) -> Generator:
+        """Post under the connection lock, then wait for the completion
+        *outside* it so later operations pipeline behind this one.
+
+        WC pairing stays correct because completions on one RC QP are
+        FIFO and every poster registers its CQ waiter in post order
+        (registration happens before the lock is released).
+        """
+        conn = self._conns[peer]
+        yield conn.lock.acquire()
+        try:
+            if op == "write":
+                yield from self.ctx.post_rdma_write(conn.qp, data, raddr, rkey)
+            else:
+                yield from self.ctx.post_rdma_read(conn.qp, nbytes, raddr, rkey)
+            waiter = conn.send_cq.wait()  # synchronous FIFO registration
+        finally:
+            conn.lock.release()
+        try:
+            wc = yield waiter
+            yield self.sim.timeout(self.cost.poll_cq_us)
+            if op == "read" and on_data is not None:
+                on_data(wc.data)
+        finally:
+            self._nbi_end()
+
+    def _nbi_begin(self) -> None:
+        self._nbi_outstanding += 1
+
+    def _nbi_end(self) -> None:
+        self._nbi_outstanding -= 1
+        if self._nbi_outstanding == 0 and self._nbi_drained is not None:
+            self._nbi_drained.succeed()
+            self._nbi_drained = None
+
+    def quiet(self) -> Generator:
+        """Block until every outstanding nbi operation is complete."""
+        while self._nbi_outstanding > 0:
+            if self._nbi_drained is None:
+                self._nbi_drained = self.sim.event()
+            yield self._nbi_drained
+
+    # ------------------------------------------------------------------
+    # UD helpers for the handshake
+    # ------------------------------------------------------------------
+    def _ud_send(self, dst: EndpointAddress, msg, nbytes: int) -> Generator:
+        yield from self.ctx.ud_send(self.ud_qp, dst, msg, nbytes)
+        self._ud_send_cq.drain()

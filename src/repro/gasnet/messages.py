@@ -1,0 +1,62 @@
+"""Conduit wire messages (carried as packet payloads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..ib import EndpointAddress
+
+__all__ = ["ConnectRequest", "ConnectReply", "ActiveMessage"]
+
+#: Fixed header bytes for the connect handshake messages (rank, qpn,
+#: lid, flags — roughly what the mvapich2x conduit sends).
+CONNECT_HEADER_BYTES = 24
+#: Active-message header (handler id, size, token).
+AM_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ConnectRequest:
+    """UD connect request: client -> server (Figure 4).
+
+    ``payload`` is the opaque exchange blob the upper layer (OpenSHMEM)
+    asked the conduit to piggyback — the conduit never interprets it.
+    """
+
+    src_rank: int
+    rc_addr: EndpointAddress
+    payload: bytes = b""
+    #: Retransmission attempt (for tracing/diagnostics only).
+    attempt: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return CONNECT_HEADER_BYTES + len(self.payload)
+
+
+@dataclass(frozen=True)
+class ConnectReply:
+    """UD connect reply: server -> client, same piggyback rules."""
+
+    src_rank: int
+    rc_addr: EndpointAddress
+    payload: bytes = b""
+
+    @property
+    def nbytes(self) -> int:
+        return CONNECT_HEADER_BYTES + len(self.payload)
+
+
+@dataclass(frozen=True)
+class ActiveMessage:
+    """A GASNet-core-style active message riding an RC connection."""
+
+    src_rank: int
+    handler: str
+    data: Any = None
+    data_bytes: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return AM_HEADER_BYTES + self.data_bytes

@@ -1,0 +1,235 @@
+"""The on-demand conduit: the paper's contribution (Sections IV-A/C/E).
+
+Connection establishment follows Figure 4 exactly:
+
+1. the **client** creates an RC QP (RESET->INIT) and sends a UD
+   ``ConnectRequest`` carrying its ``<lid, qpn>`` *plus the upper
+   layer's exchange payload* (OpenSHMEM's serialized segment keys);
+2. the **server**'s connection-manager (progress process) creates its
+   own RC QP, moves it INIT->RTR toward the client, replies with a UD
+   ``ConnectReply`` (again piggybacking its payload), then RTR->RTS;
+3. the client, on reply, moves INIT->RTR->RTS and flushes queued work.
+
+Robustness (Section IV-A, IV-E):
+
+* UD is lossy: the client retransmits after ``ud_retry_timeout_us``,
+  up to ``ud_max_retries`` times; duplicate requests and replies are
+  idempotent.
+* **Collision** (both sides initiate simultaneously): the lower rank
+  stays client; the higher rank abandons its client attempt and serves
+  the incoming request reusing the QP it already created.
+* **Server not ready** (segments not yet registered because there is
+  no global barrier anymore): requests are *held* and served on
+  ``mark_ready()``; the client's retransmission covers a lost wake-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from ..errors import ConduitError
+from ..ib import CompletionQueue, RCQueuePair
+from ..sim import SimEvent
+from .conduit import Conduit
+from .messages import ConnectReply, ConnectRequest
+
+__all__ = ["OnDemandConduit"]
+
+
+@dataclass
+class _PendingConnect:
+    """Client-side state for an in-flight handshake.
+
+    Registered *before* the client's QP exists (QP creation itself
+    takes simulated time) so that concurrent senders to the same peer
+    always share one handshake.
+    """
+
+    event: SimEvent
+    qp: Optional[RCQueuePair] = None
+    send_cq: Optional[CompletionQueue] = None
+    abandoned: bool = False  # collision: peer serves us instead
+
+
+class OnDemandConduit(Conduit):
+    """Connections are made lazily, on first communication."""
+
+    mode = "on-demand"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._pending: Dict[int, _PendingConnect] = {}
+        #: Peers we are currently serving (reply possibly in flight).
+        self._serving: Dict[int, ConnectReply] = {}
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def ensure_connected(self, peer: int) -> Generator:
+        if peer == self.rank or self.cluster.same_node(peer, self.rank):
+            return
+        if peer in self._conns:
+            return
+        pending = self._pending.get(peer)
+        if pending is not None:
+            # Someone on this PE is already connecting: piggyback.
+            yield pending.event
+            return
+        yield from self._connect(peer)
+
+    def _connect(self, peer: int) -> Generator:
+        ev = self.sim.event()
+        pending = _PendingConnect(event=ev)
+        self._pending[peer] = pending
+        if peer in self._serving:
+            # Our own progress engine is already serving this peer's
+            # request: sending our own request too would cross the
+            # handshakes and pair mismatched QPs.  The serve's epilogue
+            # wakes our pending event.
+            yield ev
+            return
+        directory = yield from self.resolve_directory()
+        dst_ud = directory[peer]
+        send_cq = self.ctx.create_cq(f"rc-send-{peer}")
+        qp = yield from self.ctx.create_rc_qp(send_cq, self._recv_cq)
+        yield from self.ctx.modify_init(qp)
+        if pending.abandoned or ev.triggered or peer in self._conns:
+            # While we were creating the QP, our own progress process
+            # served (or is serving) the peer's request — the
+            # established connection does not use this QP.
+            qp.destroy()
+            if not ev.triggered:
+                if pending.abandoned:
+                    # Serve in flight: it wakes this event when done.
+                    yield ev
+                else:
+                    self._finish_superseded(peer, pending)
+            if self._pending.get(peer) is pending:
+                del self._pending[peer]
+            return
+        pending.qp = qp
+        pending.send_cq = send_cq
+        self.counters.add("conduit.connect_requests")
+
+        req_payload = self._exchange_payload
+        for attempt in range(self.cost.ud_max_retries + 1):
+            req = ConnectRequest(
+                src_rank=self.rank, rc_addr=qp.address,
+                payload=req_payload, attempt=attempt,
+            )
+            if attempt < self.cost.ud_max_retries:
+                yield from self._ud_send(dst_ud, req, req.nbytes)
+            # else: final grace wait for an in-flight reply.
+            timeout = self.sim.timeout(self.cost.ud_retry_timeout_us)
+            which, _value = yield self.sim.any_of([ev, timeout])
+            if which is ev:
+                if peer in self._conns and self._conns[peer].qp is not qp:
+                    qp.destroy()  # superseded by a served collision
+                return
+            if peer in self._conns:
+                # Connected through the serve path without our event
+                # (we were not yet in _pending when it looked): adopt.
+                qp.destroy()
+                self._finish_superseded(peer, pending)
+                return
+            self.counters.add("conduit.connect_retries")
+        raise ConduitError(
+            f"PE {self.rank}: connect to {peer} failed after "
+            f"{self.cost.ud_max_retries} retries"
+        )
+
+    def _finish_superseded(self, peer: int, pending: "_PendingConnect") -> None:
+        """Our client attempt lost to a concurrently served connection."""
+        if self._pending.get(peer) is pending:
+            del self._pending[peer]
+        if not pending.event.triggered:
+            pending.event.succeed()
+
+    def _on_connect_reply(self, rep: ConnectReply) -> Generator:
+        peer = rep.src_rank
+        pending = self._pending.get(peer)
+        if pending is None or peer in self._conns:
+            # Duplicate reply (retransmission already handled) -- drop.
+            self.counters.add("conduit.dup_replies")
+            return
+        yield self.sim.timeout(self.cost.conn_handshake_cpu_us)
+        yield from self.ctx.modify_rtr(pending.qp, rep.rc_addr)
+        yield from self.ctx.modify_rts(pending.qp)
+        self._register_connection(peer, pending.qp, pending.send_cq)
+        self._deliver_payload(peer, rep.payload)
+        del self._pending[peer]
+        pending.event.succeed()
+
+    # ------------------------------------------------------------------
+    # server side (runs in the progress process)
+    # ------------------------------------------------------------------
+    def _on_connect_request(self, req: ConnectRequest) -> Generator:
+        peer = req.src_rank
+        if peer in self._conns:
+            # Lost reply: retransmit idempotently.
+            rep = self._serving.get(peer)
+            if rep is not None:
+                directory = yield from self.resolve_directory()
+                yield from self._ud_send(directory[peer], rep, rep.nbytes)
+                self.counters.add("conduit.dup_requests")
+            return
+        if peer in self._serving:
+            # Reply in flight; client will retransmit if it was lost.
+            self.counters.add("conduit.dup_requests")
+            return
+        pending = self._pending.get(peer)
+        if pending is not None and self.rank < peer:
+            # Collision, we are the winner-client: ignore; peer serves us.
+            self.counters.add("conduit.collisions_ignored")
+            return
+        if not self._ready:
+            # Hold until our segments are registered (Section IV-E).
+            self._held_requests.append(req)
+            self.counters.add("conduit.requests_held")
+            return
+        yield from self._serve(req, pending)
+
+    def _serve(
+        self, req: ConnectRequest, pending: Optional["_PendingConnect"]
+    ) -> Generator:
+        peer = req.src_rank
+        # Marker: a serve is in progress (duplicate requests must not
+        # spawn a second QP; the eventual reply is retransmittable).
+        self._serving[peer] = None
+        yield self.sim.timeout(self.cost.conn_handshake_cpu_us)
+        if pending is not None and pending.qp is not None:
+            # Collision, we lost the tie-break: reuse our INIT QP.
+            self.counters.add("conduit.collisions_served")
+            qp, send_cq = pending.qp, pending.send_cq
+            pending.abandoned = True
+        else:
+            if pending is not None:
+                # Collision caught before our client QP even existed.
+                self.counters.add("conduit.collisions_served")
+                pending.abandoned = True
+            send_cq = self.ctx.create_cq(f"rc-send-{peer}")
+            qp = yield from self.ctx.create_rc_qp(send_cq, self._recv_cq)
+            yield from self.ctx.modify_init(qp)
+        yield from self.ctx.modify_rtr(qp, req.rc_addr)
+        rep = ConnectReply(
+            src_rank=self.rank, rc_addr=qp.address,
+            payload=self._exchange_payload,
+        )
+        self._serving[peer] = rep
+        directory = yield from self.resolve_directory()
+        yield from self._ud_send(directory[peer], rep, rep.nbytes)
+        yield from self.ctx.modify_rts(qp)
+        self._register_connection(peer, qp, send_cq)
+        self._deliver_payload(peer, req.payload)
+        # Wake whichever client attempt exists *now* (it may have been
+        # created after we sampled `pending` at serve entry).
+        latest = self._pending.get(peer)
+        if latest is None:
+            latest = pending
+        if latest is not None:
+            latest.abandoned = True
+            if self._pending.get(peer) is latest:
+                del self._pending[peer]
+            if not latest.event.triggered:
+                latest.event.succeed()

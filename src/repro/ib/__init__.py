@@ -1,0 +1,35 @@
+"""Simulated InfiniBand substrate: verbs, QPs, HCA, fabric, memory."""
+
+from .cq import CompletionQueue
+from .fabric import Fabric
+from .hca import HCA
+from .memory import MemoryManager, MemoryRegion
+from .qp import RCQueuePair, UDQueuePair
+from .types import (
+    EndpointAddress,
+    Opcode,
+    Packet,
+    QPState,
+    QPType,
+    WCStatus,
+    WorkCompletion,
+)
+from .verbs import VerbsContext
+
+__all__ = [
+    "CompletionQueue",
+    "Fabric",
+    "HCA",
+    "MemoryManager",
+    "MemoryRegion",
+    "RCQueuePair",
+    "UDQueuePair",
+    "EndpointAddress",
+    "Opcode",
+    "Packet",
+    "QPState",
+    "QPType",
+    "WCStatus",
+    "WorkCompletion",
+    "VerbsContext",
+]

@@ -1,0 +1,122 @@
+"""Host Channel Adapter: QP table, QP-context cache, rkey routing.
+
+One HCA per node, shared by every PE on that node (as on the paper's
+clusters).  The HCA owns
+
+* the **QP table** (qpn -> QP object),
+* the **QP-context cache** -- an LRU over RC QPs modelling the limited
+  on-board memory of ConnectX-era HCAs (paper Section I, drawback 3):
+  traffic touching more QPs than fit pays a context-fetch penalty,
+* the **rkey table** routing inbound RDMA/atomics to the owning PE's
+  registered memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from ..cluster import CostModel
+from ..sim import Counters, Simulator
+from .memory import MemoryManager, MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fabric import Fabric
+    from .types import Packet
+
+__all__ = ["HCA"]
+
+
+class HCA:
+    """A node's InfiniBand adapter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: "Fabric",
+        node: int,
+        lid: int,
+        cost: CostModel,
+        counters: Counters,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.node = node
+        self.lid = lid
+        self.cost = cost
+        self.counters = counters
+        #: When this HCA's uplink becomes idle (egress serialisation).
+        self.egress_free_at = 0.0
+        self._qps: Dict[int, object] = {}
+        self._next_qpn = 1
+        self._qp_cache: "OrderedDict[int, None]" = OrderedDict()
+        self._rkeys: Dict[int, Tuple[MemoryRegion, MemoryManager]] = {}
+        fabric.attach(self)
+
+    # -- QP management ----------------------------------------------------
+    def alloc_qpn(self) -> int:
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        return qpn
+
+    def register_qp(self, qp) -> None:
+        if qp.qpn in self._qps:
+            raise ValueError(f"qpn {qp.qpn} already registered on LID {self.lid:#x}")
+        self._qps[qp.qpn] = qp
+
+    def destroy_qp(self, qpn: int) -> None:
+        self._qps.pop(qpn, None)
+        self._qp_cache.pop(qpn, None)
+
+    def qp(self, qpn: int):
+        return self._qps[qpn]
+
+    # -- QP context cache ---------------------------------------------------
+    def touch_qp_cache(self, qpn: int) -> float:
+        """LRU-touch an RC QP context; returns the miss penalty (us)."""
+        cache = self._qp_cache
+        if qpn in cache:
+            cache.move_to_end(qpn)
+            self.counters.add("hca.qp_cache_hits")
+            return 0.0
+        cache[qpn] = None
+        if len(cache) > self.cost.qp_cache_entries:
+            cache.popitem(last=False)
+        self.counters.add("hca.qp_cache_misses")
+        return self.cost.qp_cache_miss_penalty_us
+
+    # -- memory routing -------------------------------------------------------
+    def expose_memory(self, mm: MemoryManager, region: MemoryRegion) -> None:
+        """Make a PE's registered region reachable by inbound RDMA."""
+        self._rkeys[region.rkey] = (region, mm)
+
+    def hide_memory(self, region: MemoryRegion) -> None:
+        self._rkeys.pop(region.rkey, None)
+
+    def memory_target(self, rkey: int) -> Tuple[MemoryRegion, MemoryManager]:
+        from ..errors import RemoteAccessError
+
+        try:
+            return self._rkeys[rkey]
+        except KeyError:
+            raise RemoteAccessError(
+                f"LID {self.lid:#x}: no region with rkey {rkey:#x}"
+            ) from None
+
+    # -- packet arrival ---------------------------------------------------------
+    def receive(self, packet: "Packet") -> None:
+        """Fabric delivery callback (runs at packet-arrival time)."""
+        qp = self._qps.get(packet.dst_qpn)
+        if qp is None:
+            # Packet for a QP that does not (or no longer) exists: on
+            # real hardware this is silently dropped (UD) or NAKed; our
+            # protocols never rely on it, so drop and count.
+            self.counters.add("hca.dropped_no_qp")
+            return
+        penalty = 0.0
+        if getattr(qp, "is_rc", False):
+            penalty = self.touch_qp_cache(packet.dst_qpn)
+        if penalty > 0.0:
+            self.sim._schedule_at(self.sim.now + penalty, qp.handle, packet)
+        else:
+            qp.handle(packet)

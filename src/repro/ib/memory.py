@@ -1,0 +1,181 @@
+"""Registered memory: protection domains, regions, rkeys.
+
+Each PE owns a :class:`MemoryManager` modelling its virtual address
+space.  Buffers are real ``numpy`` byte arrays, so RDMA operations in
+the simulator genuinely move data — application results (heat fields,
+BFS trees, reductions) are computed from bytes that travelled through
+the simulated fabric.
+
+Addresses are integers in a per-PE flat space; registration yields an
+``rkey`` that remote peers must present.  rkeys are globally unique so
+that a stale or wrong key is always caught.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MemoryRegistrationError, RemoteAccessError
+
+__all__ = ["MemoryRegion", "MemoryManager"]
+
+_rkey_counter = itertools.count(0x1000)
+
+
+@dataclass
+class MemoryRegion:
+    """A registered, RDMA-accessible buffer."""
+
+    addr: int  #: Base virtual address in the owner's address space.
+    size: int  #: Length in bytes.
+    rkey: int  #: Remote access key (globally unique).
+    lkey: int  #: Local key (== rkey in this model).
+    buf: np.ndarray  #: Backing storage (uint8, length ``size``).
+    owner_rank: int
+
+    def contains(self, addr: int, nbytes: int) -> bool:
+        return self.addr <= addr and addr + nbytes <= self.addr + self.size
+
+    def offset_of(self, addr: int) -> int:
+        return addr - self.addr
+
+
+class MemoryManager:
+    """Per-PE address space + registration table.
+
+    ``alloc`` carves address ranges out of a monotonically growing
+    space; ``register`` pins a range and issues an rkey.  Only
+    registered ranges are remotely accessible.
+    """
+
+    #: Arbitrary non-zero base so address 0 is always invalid.
+    _BASE_ADDR = 0x10_0000
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._next_addr = self._BASE_ADDR
+        self._buffers: Dict[int, np.ndarray] = {}  # addr -> backing array
+        self._regions: Dict[int, MemoryRegion] = {}  # rkey -> region
+        self._by_addr: Dict[int, MemoryRegion] = {}  # base addr -> region
+        self.registered_bytes = 0
+
+    # -- allocation -----------------------------------------------------
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the base address."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        addr = self._next_addr
+        # 4 KiB alignment, like a page-aligned allocator.
+        self._next_addr += (size + 4095) // 4096 * 4096
+        self._buffers[addr] = np.zeros(size, dtype=np.uint8)
+        return addr
+
+    def buffer_of(self, addr: int) -> np.ndarray:
+        """Backing array for an allocation base address."""
+        try:
+            return self._buffers[addr]
+        except KeyError:
+            raise MemoryRegistrationError(
+                f"PE {self.rank}: {addr:#x} is not an allocation base"
+            ) from None
+
+    # -- registration ----------------------------------------------------
+    def register(self, addr: int) -> MemoryRegion:
+        """Register the allocation at ``addr``; returns its region."""
+        buf = self.buffer_of(addr)
+        if addr in self._by_addr:
+            raise MemoryRegistrationError(
+                f"PE {self.rank}: {addr:#x} already registered"
+            )
+        key = next(_rkey_counter)
+        region = MemoryRegion(
+            addr=addr, size=len(buf), rkey=key, lkey=key, buf=buf,
+            owner_rank=self.rank,
+        )
+        self._regions[key] = region
+        self._by_addr[addr] = region
+        self.registered_bytes += region.size
+        return region
+
+    def deregister(self, region: MemoryRegion) -> None:
+        if region.rkey not in self._regions:
+            raise MemoryRegistrationError(
+                f"PE {self.rank}: rkey {region.rkey:#x} not registered"
+            )
+        del self._regions[region.rkey]
+        del self._by_addr[region.addr]
+        self.registered_bytes -= region.size
+
+    def region_by_rkey(self, rkey: int) -> MemoryRegion:
+        try:
+            return self._regions[rkey]
+        except KeyError:
+            raise RemoteAccessError(
+                f"PE {self.rank}: unknown rkey {rkey:#x}"
+            ) from None
+
+    # -- local access ------------------------------------------------------
+    def _locate(self, addr: int, nbytes: int) -> Tuple[np.ndarray, int]:
+        """Find (buffer, offset) for any allocated range, registered or not."""
+        for base, buf in self._buffers.items():
+            if base <= addr and addr + nbytes <= base + len(buf):
+                return buf, addr - base
+        raise RemoteAccessError(
+            f"PE {self.rank}: address range {addr:#x}+{nbytes} not allocated"
+        )
+
+    def read_local(self, addr: int, nbytes: int) -> bytes:
+        buf, off = self._locate(addr, nbytes)
+        return bytes(buf[off : off + nbytes])
+
+    def write_local(self, addr: int, data: bytes) -> None:
+        buf, off = self._locate(addr, len(data))
+        buf[off : off + len(data)] = np.frombuffer(data, dtype=np.uint8)
+
+    # -- remote (validated) access -----------------------------------------
+    def rdma_write(self, raddr: int, rkey: int, data: bytes) -> None:
+        region = self.region_by_rkey(rkey)
+        if not region.contains(raddr, len(data)):
+            raise RemoteAccessError(
+                f"PE {self.rank}: write {raddr:#x}+{len(data)} outside "
+                f"region rkey={rkey:#x}"
+            )
+        off = region.offset_of(raddr)
+        region.buf[off : off + len(data)] = np.frombuffer(data, dtype=np.uint8)
+
+    def rdma_read(self, raddr: int, rkey: int, nbytes: int) -> bytes:
+        region = self.region_by_rkey(rkey)
+        if not region.contains(raddr, nbytes):
+            raise RemoteAccessError(
+                f"PE {self.rank}: read {raddr:#x}+{nbytes} outside "
+                f"region rkey={rkey:#x}"
+            )
+        off = region.offset_of(raddr)
+        return bytes(region.buf[off : off + nbytes])
+
+    def atomic(self, raddr: int, rkey: int, op: str, compare: int, operand: int) -> int:
+        """Execute a 64-bit atomic at ``raddr``; returns the old value."""
+        region = self.region_by_rkey(rkey)
+        if not region.contains(raddr, 8):
+            raise RemoteAccessError(
+                f"PE {self.rank}: atomic at {raddr:#x} outside region "
+                f"rkey={rkey:#x}"
+            )
+        off = region.offset_of(raddr)
+        view = region.buf[off : off + 8]
+        old = int(np.frombuffer(view.tobytes(), dtype="<i8")[0])
+        if op == "fetch_add":
+            new = old + operand
+        elif op == "cmp_swap":
+            new = operand if old == compare else old
+        else:
+            raise ValueError(f"unknown atomic op {op!r}")
+        view[:] = np.frombuffer(
+            int(new & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little", signed=False),
+            dtype=np.uint8,
+        )
+        return old

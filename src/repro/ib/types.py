@@ -1,0 +1,108 @@
+"""Shared types for the simulated InfiniBand verbs layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "QPType",
+    "QPState",
+    "Opcode",
+    "WCStatus",
+    "WorkCompletion",
+    "Packet",
+    "EndpointAddress",
+]
+
+
+class QPType(enum.Enum):
+    """Transport type of a queue pair."""
+
+    RC = "RC"  #: Reliable Connected -- one QP per peer, RDMA + atomics.
+    UD = "UD"  #: Unreliable Datagram -- one QP talks to any peer, MTU-limited.
+
+
+class QPState(enum.Enum):
+    """Queue-pair state machine (subset of the IB spec we model)."""
+
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  #: Ready To Receive.
+    RTS = "RTS"  #: Ready To Send.
+    ERROR = "ERROR"
+
+
+class Opcode(enum.Enum):
+    """Work-request opcodes."""
+
+    SEND = "SEND"
+    RDMA_WRITE = "RDMA_WRITE"
+    RDMA_READ = "RDMA_READ"
+    ATOMIC_FETCH_ADD = "ATOMIC_FETCH_ADD"
+    ATOMIC_CMP_SWAP = "ATOMIC_CMP_SWAP"
+
+
+class WCStatus(enum.Enum):
+    """Work-completion status."""
+
+    SUCCESS = "SUCCESS"
+    REMOTE_ACCESS_ERROR = "REMOTE_ACCESS_ERROR"
+    RETRY_EXCEEDED = "RETRY_EXCEEDED"
+    WR_FLUSH_ERROR = "WR_FLUSH_ERROR"
+
+
+@dataclass
+class WorkCompletion:
+    """Entry delivered to a completion queue."""
+
+    wr_id: int
+    opcode: Opcode
+    status: WCStatus = WCStatus.SUCCESS
+    #: Number of payload bytes (received or transferred).
+    byte_len: int = 0
+    #: For receive completions: sender identity (qpn of the source QP).
+    src_qpn: Optional[int] = None
+    #: For UD receives: the source's (lid, qpn) so a reply can be sent.
+    src_addr: Optional["EndpointAddress"] = None
+    #: Received payload (SEND) or atomic/read result.
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class EndpointAddress:
+    """The ``<lid, qpn>`` tuple the paper's protocol exchanges.
+
+    Roughly an (IP address, port) pair: the LID identifies the node's
+    HCA on the fabric, the QPN the queue pair within it.
+    """
+
+    lid: int
+    qpn: int
+
+
+@dataclass
+class Packet:
+    """One fabric transfer unit.
+
+    ``kind`` distinguishes protocol roles at the receiving HCA:
+    ``"send"`` (two-sided message), ``"rdma_write"``, ``"rdma_read_req"``,
+    ``"rdma_read_resp"``, ``"atomic_req"``, ``"atomic_resp"``, ``"ack"``.
+    """
+
+    kind: str
+    dst_lid: int
+    dst_qpn: int
+    src_lid: int
+    src_qpn: int
+    nbytes: int
+    payload: Any = None
+    #: Target virtual address / rkey for RDMA and atomics.
+    raddr: int = 0
+    rkey: int = 0
+    #: Correlates requests with responses/acks at the initiator.
+    token: int = 0
+    #: Atomic operands.
+    compare: int = 0
+    swap_or_add: int = 0

@@ -1,0 +1,5 @@
+"""Minimal MPI layer over the unified conduit (for hybrid apps)."""
+
+from .comm import Communicator
+
+__all__ = ["Communicator"]

@@ -1,0 +1,18 @@
+"""Process Management Interface: KVS, daemon tree, client, PMIX extensions."""
+
+from .client import PMIClient, PMIHandle
+from .kvs import KeyValueStore
+from .pmix import PMIX_Iallgather, PMIX_Ifence, PMIX_Ring, PMIX_Wait
+from .server import Daemon, PMIDomain
+
+__all__ = [
+    "PMIClient",
+    "PMIHandle",
+    "KeyValueStore",
+    "Daemon",
+    "PMIDomain",
+    "PMIX_Iallgather",
+    "PMIX_Ifence",
+    "PMIX_Ring",
+    "PMIX_Wait",
+]

@@ -1,0 +1,46 @@
+"""The PMI global key-value store.
+
+One logical store per job.  Writes land in per-daemon *staging* areas
+and only become globally visible when a fence commits them — the
+:class:`KeyValueStore` tracks the commit epoch so tests can assert the
+Put/Fence/Get visibility contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import PMIError
+
+__all__ = ["KeyValueStore"]
+
+
+class KeyValueStore:
+    """Committed portion of the PMI KVS (shared by all daemons)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self.epoch = 0
+
+    def commit(self, staged: Dict[str, Any]) -> None:
+        """Merge a batch of staged puts; bumps the commit epoch."""
+        overlap = set(staged) & set(self._data)
+        if overlap:
+            raise PMIError(f"duplicate KVS keys committed: {sorted(overlap)[:5]}")
+        self._data.update(staged)
+        self.epoch += 1
+
+    def get(self, key: str) -> Any:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise PMIError(f"KVS key not found (missing fence?): {key!r}") from None
+
+    def get_many(self, keys: Iterable[str]) -> List[Any]:
+        return [self.get(k) for k in keys]
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)

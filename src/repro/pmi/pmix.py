@@ -1,0 +1,36 @@
+"""Paper-faithful functional aliases for the PMIX extensions.
+
+The paper (Section III-E) names the operations ``PMIX_Iallgather``,
+``PMIX_Ifence``, ``PMIX_Ring`` and ``PMIX_Wait``; the object API lives
+on :class:`repro.pmi.client.PMIClient`.  These wrappers exist so that
+code ported from the paper reads one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim import Waitable
+from .client import PMIClient, PMIHandle
+
+__all__ = ["PMIX_Iallgather", "PMIX_Ifence", "PMIX_Ring", "PMIX_Wait"]
+
+
+def PMIX_Iallgather(client: PMIClient, value: Any) -> PMIHandle:
+    """Non-blocking allgather of one value per rank."""
+    return client.iallgather(value)
+
+
+def PMIX_Ifence(client: PMIClient) -> PMIHandle:
+    """Non-blocking (split-phase) fence."""
+    return client.ifence()
+
+
+def PMIX_Ring(client: PMIClient, value: Any):
+    """Blocking ring exchange; generator returning (left, right)."""
+    return client.ring(value)
+
+
+def PMIX_Wait(handle: PMIHandle) -> Waitable:
+    """Completion wait for a non-blocking PMI operation (yieldable)."""
+    return handle.wait()

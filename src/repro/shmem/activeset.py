@@ -1,0 +1,71 @@
+"""OpenSHMEM 1.x active sets (PE_start, logPE_stride, PE_size).
+
+The classic collectives take a strided subset of PEs instead of a
+team object; :class:`ActiveSet` models that triple and provides the
+rank translation the team collectives need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ShmemError
+
+__all__ = ["ActiveSet"]
+
+
+@dataclass(frozen=True)
+class ActiveSet:
+    """The (PE_start, logPE_stride, PE_size) triple of OpenSHMEM 1.x."""
+
+    pe_start: int
+    log_pe_stride: int
+    pe_size: int
+
+    def __post_init__(self) -> None:
+        if self.pe_start < 0:
+            raise ShmemError("PE_start must be >= 0")
+        if self.log_pe_stride < 0:
+            raise ShmemError("logPE_stride must be >= 0")
+        if self.pe_size < 1:
+            raise ShmemError("PE_size must be >= 1")
+
+    @property
+    def stride(self) -> int:
+        return 1 << self.log_pe_stride
+
+    @classmethod
+    def world(cls, npes: int) -> "ActiveSet":
+        return cls(pe_start=0, log_pe_stride=0, pe_size=npes)
+
+    def members(self) -> List[int]:
+        """Global ranks in the set, in team order."""
+        return [self.pe_start + i * self.stride for i in range(self.pe_size)]
+
+    def contains(self, rank: int) -> bool:
+        offset = rank - self.pe_start
+        return (
+            0 <= offset
+            and offset % self.stride == 0
+            and offset // self.stride < self.pe_size
+        )
+
+    def team_rank(self, rank: int) -> int:
+        """Position of a global rank within the set."""
+        if not self.contains(rank):
+            raise ShmemError(
+                f"PE {rank} is not in active set "
+                f"(start={self.pe_start}, stride={self.stride}, "
+                f"size={self.pe_size})"
+            )
+        return (rank - self.pe_start) // self.stride
+
+    def global_rank(self, team_rank: int) -> int:
+        if not (0 <= team_rank < self.pe_size):
+            raise ShmemError(f"team rank {team_rank} out of range")
+        return self.pe_start + team_rank * self.stride
+
+    def key(self) -> tuple:
+        """Hashable identity for collective-channel keys."""
+        return (self.pe_start, self.log_pe_stride, self.pe_size)

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+Time is a float in microseconds.  See :mod:`repro.sim.engine` for the
+event loop, :mod:`repro.sim.process` for generator-coroutine processes,
+and :mod:`repro.sim.sync` for synchronisation primitives.
+"""
+
+from .engine import AllOf, AnyOf, SimEvent, SimulationError, Simulator, Timeout, Waitable
+from .process import Process, ProcessFailure, spawn
+from .rng import RngRegistry
+from .sync import Barrier, Latch, Mailbox, Semaphore
+from .trace import Counters, PhaseTimer, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Waitable",
+    "SimEvent",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "Process",
+    "ProcessFailure",
+    "spawn",
+    "Mailbox",
+    "Semaphore",
+    "Barrier",
+    "Latch",
+    "RngRegistry",
+    "Counters",
+    "PhaseTimer",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,255 @@
+"""Discrete-event simulation core: clock, event heap, waitables.
+
+The engine is deliberately tiny and deterministic.  Simulated time is a
+``float`` in *microseconds*.  Events scheduled for the same timestamp
+fire in scheduling order (a monotonically increasing sequence number
+breaks ties), so a simulation with a fixed seed is exactly
+reproducible.
+
+The public surface is:
+
+* :class:`Simulator` -- owns the clock and the pending-event heap.
+* :class:`Waitable` -- anything a process generator may ``yield``.
+* :class:`SimEvent` -- a one-shot event that can be succeeded or failed.
+* :class:`Timeout` -- fires after a fixed simulated delay.
+* :class:`AnyOf` / :class:`AllOf` -- composite waits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Waitable",
+    "SimEvent",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double-trigger etc.)."""
+
+
+class Waitable:
+    """Base class for objects a process can ``yield`` on.
+
+    A waitable is *triggered* at most once.  When triggered it carries a
+    ``value`` (delivered to waiters via ``send``) or an exception
+    (delivered via ``throw``).  Callbacks appended to :attr:`callbacks`
+    run, in order, at the simulated instant the waitable triggers.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Waitable"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the waitable has fired (successfully or not)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if triggered without an exception."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the waitable failed or is pending."""
+        if not self._triggered:
+            raise SimulationError("waitable has not triggered yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ---------------------------------------------------
+    def _trigger(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exc = exc
+        self.sim._schedule_callbacks(self)
+
+    def add_callback(self, fn: Callable[["Waitable"], None]) -> None:
+        """Run ``fn(self)`` when this waitable fires (immediately if fired).
+
+        "Immediately" still means *via the event queue* at the current
+        simulated time, preserving run-to-completion semantics.
+        """
+        if self.callbacks is None:
+            # Already dispatched: schedule a fresh zero-delay callback.
+            self.sim.call_soon(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+
+class SimEvent(Waitable):
+    """One-shot event with explicit :meth:`succeed` / :meth:`fail`."""
+
+    __slots__ = ()
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        self._trigger(value=value)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(exc=exc)
+        return self
+
+
+class Timeout(Waitable):
+    """Fires ``delay`` microseconds after construction."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        sim._schedule_at(sim.now + self.delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self._trigger(value=value)
+
+
+class _Composite(Waitable):
+    """Shared machinery for AnyOf / AllOf."""
+
+    __slots__ = ("children", "_pending")
+
+    def __init__(self, sim: "Simulator", children: Iterable[Waitable]) -> None:
+        super().__init__(sim)
+        self.children: List[Waitable] = list(children)
+        if not self.children:
+            raise ValueError("composite wait over an empty set")
+        self._pending = len(self.children)
+        for child in self.children:
+            child.add_callback(self._child_fired)
+
+    def _child_fired(self, child: Waitable) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Composite):
+    """Triggers when the *first* child triggers; value is ``(child, value)``."""
+
+    __slots__ = ()
+
+    def _child_fired(self, child: Waitable) -> None:
+        if self._triggered:
+            return
+        if child.exception is not None:
+            self._trigger(exc=child.exception)
+        else:
+            self._trigger(value=(child, child._value))
+
+
+class AllOf(_Composite):
+    """Triggers when *all* children have; value is the list of child values."""
+
+    __slots__ = ()
+
+    def _child_fired(self, child: Waitable) -> None:
+        if self._triggered:
+            return
+        if child.exception is not None:
+            self._trigger(exc=child.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self._trigger(value=[c._value for c in self.children])
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of ``(time, seq, fn, arg)``."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._processes: List[Any] = []  # populated by sim.process.Process
+
+    # -- low-level scheduling ------------------------------------------
+    def _schedule_at(self, when: float, fn: Callable, arg: Any = None) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < now={self.now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn, arg))
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the current simulated time, after pending work."""
+        self._schedule_at(self.now, lambda _arg: fn(), None)
+
+    def _schedule_callbacks(self, waitable: Waitable) -> None:
+        callbacks, waitable.callbacks = waitable.callbacks, None
+        if callbacks is None:
+            raise SimulationError("waitable dispatched twice")
+
+        def _dispatch(_arg: Any) -> None:
+            for fn in callbacks:
+                fn(waitable)
+
+        self._schedule_at(self.now, _dispatch, None)
+
+    # -- waitable constructors -----------------------------------------
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def any_of(self, children: Iterable[Waitable]) -> AnyOf:
+        return AnyOf(self, children)
+
+    def all_of(self, children: Iterable[Waitable]) -> AllOf:
+        return AllOf(self, children)
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> None:
+        """Advance the clock to — and execute — the next pending event."""
+        when, _seq, fn, arg = heapq.heappop(self._heap)
+        self.now = when
+        fn(arg)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or ``until`` is reached.
+
+        Returns the final simulated time.  Unhandled process failures
+        propagate out of :meth:`run` (see ``repro.sim.process``).
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

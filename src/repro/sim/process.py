@@ -1,0 +1,107 @@
+"""Generator-coroutine processes for the DES kernel.
+
+A simulated process is a Python generator that ``yield``\\ s
+:class:`~repro.sim.engine.Waitable` objects (timeouts, events, other
+processes, composites).  The kernel resumes the generator with the
+waitable's value (``gen.send(value)``), or throws the waitable's
+exception into it.
+
+Example::
+
+    def worker(sim):
+        yield sim.timeout(5.0)          # sleep 5 us
+        ev = sim.event()
+        ...
+        value = yield ev                # wait for someone to succeed(ev)
+
+    proc = spawn(sim, worker(sim), name="worker")
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import SimEvent, SimulationError, Simulator, Waitable
+
+__all__ = ["Process", "spawn", "ProcessFailure"]
+
+
+class ProcessFailure(RuntimeError):
+    """Wraps an exception that escaped a simulated process."""
+
+    def __init__(self, process: "Process", cause: BaseException) -> None:
+        super().__init__(f"process {process.name!r} failed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Process(Waitable):
+    """A running generator; also a waitable so parents can join it.
+
+    The process triggers with the generator's return value
+    (``StopIteration.value``) on normal exit, or fails with the escaped
+    exception.  An exception that nobody joins on is re-raised out of
+    :meth:`Simulator.run` wrapped in :class:`ProcessFailure`.
+    """
+
+    __slots__ = ("gen", "name", "_joined")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "?") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {type(gen)!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name
+        self._joined = False
+        sim._processes.append(self)
+        sim._schedule_at(sim.now, self._resume, (None, None))
+
+    def add_callback(self, fn) -> None:  # noqa: D102 - see Waitable
+        self._joined = True
+        super().add_callback(fn)
+
+    # -- stepping ------------------------------------------------------
+    def _resume(self, payload) -> None:
+        send_value, throw_exc = payload
+        try:
+            if throw_exc is not None:
+                target = self.gen.throw(throw_exc)
+            else:
+                target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._trigger(value=stop.value)
+            return
+        except BaseException as exc:  # process died
+            if self._joined:
+                self._trigger(exc=exc)
+            else:
+                # Nobody is listening: abort the whole simulation loudly.
+                raise ProcessFailure(self, exc) from exc
+            return
+        if not isinstance(target, Waitable):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+            self.gen.close()
+            if self._joined:
+                self._trigger(exc=exc)
+            else:
+                raise ProcessFailure(self, exc) from exc
+            return
+        target.add_callback(self._on_target)
+
+    def _on_target(self, target: Waitable) -> None:
+        if target.exception is not None:
+            self.sim._schedule_at(self.sim.now, self._resume, (None, target.exception))
+        else:
+            self.sim._schedule_at(self.sim.now, self._resume, (target._value, None))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "?") -> Process:
+    """Create and start a :class:`Process` at the current simulated time."""
+    return Process(sim, gen, name=name)

@@ -1,0 +1,113 @@
+"""Tracing, counters and phase timers for simulation runs.
+
+Three facilities, all cheap enough to leave enabled:
+
+* :class:`Counters` -- monotonically increasing named counters
+  (``qp_created``, ``ud_drops``, ...).
+* :class:`PhaseTimer` -- accumulates simulated time per named phase for
+  one actor; used for the ``start_pes`` breakdowns (Figures 1 and 5b).
+* :class:`Tracer` -- optional event log (ring-buffer) for debugging and
+  protocol tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from .engine import Simulator
+
+__all__ = ["Counters", "PhaseTimer", "Tracer", "TraceRecord"]
+
+
+class Counters:
+    """Named integer counters with dict-like reads."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+class PhaseTimer:
+    """Accumulates simulated time spent per phase by one actor.
+
+    Phases may interleave but not nest: ``begin`` implicitly ends the
+    previous phase.  ``stop`` closes the current phase.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._acc: Dict[str, float] = defaultdict(float)
+        self._current: Optional[str] = None
+        self._started_at = 0.0
+
+    def begin(self, phase: str) -> None:
+        self.stop()
+        self._current = phase
+        self._started_at = self.sim.now
+
+    def stop(self) -> None:
+        if self._current is not None:
+            self._acc[self._current] += self.sim.now - self._started_at
+            self._current = None
+
+    def total(self, phase: str) -> float:
+        extra = 0.0
+        if self._current == phase:
+            extra = self.sim.now - self._started_at
+        return self._acc.get(phase, 0.0) + extra
+
+    def breakdown(self) -> Dict[str, float]:
+        self.stop()
+        return dict(self._acc)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event: simulated time, actor, kind, and payload."""
+
+    time: float
+    actor: str
+    kind: str
+    detail: Any = None
+
+
+class Tracer:
+    """Bounded in-memory event log.
+
+    Disabled by default (zero overhead beyond a truthiness check);
+    enable for protocol tests or debugging.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000, enabled: bool = False):
+        self.sim = sim
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+
+    def log(self, actor: str, kind: str, detail: Any = None) -> None:
+        if self.enabled:
+            self._records.append(TraceRecord(self.sim.now, actor, kind, detail))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        self._records.clear()

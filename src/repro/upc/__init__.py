@@ -1,0 +1,5 @@
+"""UPC-flavoured PGAS layer over the same conduit (paper future work)."""
+
+from .shared_array import SharedArray, upc_all_reduce, upc_barrier
+
+__all__ = ["SharedArray", "upc_barrier", "upc_all_reduce"]

@@ -1,0 +1,60 @@
+"""NAS IS (integer sort) — the dense-communication counter-example."""
+
+import numpy as np
+import pytest
+
+from repro.apps import Heat2D, NasIS
+from repro.core import Job, RuntimeConfig
+
+
+def run_is(npes=8, iters=2, nas_class="S", config=None):
+    config = config or RuntimeConfig.proposed(heap_backing_kb=1024)
+    return Job(npes=npes, config=config).run(NasIS(nas_class, iters=iters))
+
+
+class TestSortCorrectness:
+    @pytest.mark.parametrize("npes", [2, 4, 8])
+    def test_globally_sorted(self, npes):
+        result = run_is(npes=npes)
+        for res in result.app_results:
+            assert res["locally_sorted"]
+            assert res["boundary_ordered"]
+
+    def test_no_keys_lost(self):
+        npes = 8
+        result = run_is(npes=npes)
+        total = result.app_results[0]["total_keys"]
+        assert total == npes * 1024
+        # Key sum is conserved: recompute the expected sum from the
+        # same generators the application used.
+        expected = 0
+        for rank in range(npes):
+            rng = np.random.default_rng(1990 + rank)
+            expected += int(
+                rng.integers(0, 1 << 16, size=1024, dtype=np.int64).sum()
+            )
+        assert result.app_results[0]["total_sum"] == expected
+
+    def test_same_result_both_modes(self):
+        a = run_is(config=RuntimeConfig.proposed(heap_backing_kb=1024))
+        b = run_is(config=RuntimeConfig.current(heap_backing_kb=1024))
+        assert (
+            a.app_results[0]["total_sum"] == b.app_results[0]["total_sum"]
+        )
+
+
+class TestDensity:
+    def test_is_touches_nearly_all_peers(self):
+        npes = 16
+        result = run_is(npes=npes)
+        # The alltoall pattern needs (almost) every peer — the dense
+        # end of the application spectrum.
+        assert result.resources.mean_active_peers > 0.8 * (npes - 1)
+
+    def test_is_denser_than_heat(self):
+        npes = 16
+        is_peers = run_is(npes=npes).resources.mean_active_peers
+        heat = Job(
+            npes=npes, config=RuntimeConfig.proposed(heap_backing_kb=1024)
+        ).run(Heat2D(n=32, iters=4, check_every=0))
+        assert is_peers > 2 * heat.resources.mean_active_peers

@@ -1,0 +1,63 @@
+"""Hybrid MPI+OpenSHMEM sample sort tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import HybridSampleSort
+from repro.core import Job, RuntimeConfig
+
+
+def run_sort(npes=8, records=1024, config=None, oversample=8):
+    config = config or RuntimeConfig.proposed(heap_backing_kb=1024)
+    return Job(npes=npes, config=config).run(
+        HybridSampleSort(records_per_pe=records, oversample=oversample)
+    )
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("npes", [2, 4, 8])
+    def test_sorted_and_conserved(self, npes):
+        result = run_sort(npes=npes)
+        res0 = result.app_results[0]
+        assert res0["total"] == npes * 1024
+        for res in result.app_results:
+            assert res["locally_sorted"]
+            assert res["boundary_ordered"]
+
+    def test_keysum_matches_generators(self):
+        npes = 4
+        result = run_sort(npes=npes)
+        expected = sum(
+            int(
+                np.random.default_rng(424242 + r)
+                .integers(0, 1 << 40, size=1024, dtype=np.int64)
+                .sum()
+            )
+            for r in range(npes)
+        )
+        assert result.app_results[0]["keysum"] == expected
+
+    def test_oversampling_improves_balance(self):
+        lo = run_sort(npes=8, oversample=2)
+        hi = run_sort(npes=8, oversample=32)
+
+        def worst(result):
+            return max(res["imbalance"] for res in result.app_results)
+
+        assert worst(hi) <= worst(lo) * 1.1  # usually strictly better
+
+    def test_hybrid_modes_agree(self):
+        a = run_sort(config=RuntimeConfig.proposed(heap_backing_kb=1024))
+        b = run_sort(config=RuntimeConfig.current(heap_backing_kb=1024))
+        assert a.app_results[0]["keysum"] == b.app_results[0]["keysum"]
+        assert a.app_results[0]["total"] == b.app_results[0]["total"]
+
+    def test_unified_runtime_shares_connections(self):
+        """MPI sampling and SHMEM routing reuse the same QPs."""
+        result = run_sort(npes=8)
+        # Each established connection serves both models: there must be
+        # no more connections than distinct touched peers.
+        assert (
+            result.resources.mean_connections
+            <= result.resources.mean_active_peers + 0.01
+        )

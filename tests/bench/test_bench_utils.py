@@ -1,0 +1,67 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    fmt_ratio,
+    fmt_us,
+    linear_fit,
+    project,
+    render_table,
+    rows_to_csv,
+)
+
+
+class TestFormatting:
+    def test_fmt_us_scales(self):
+        assert fmt_us(2.5) == "2.50us"
+        assert fmt_us(2500.0) == "2.50ms"
+        assert fmt_us(2_500_000.0) == "2.50s"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(3.333) == "3.33x"
+
+
+class TestRenderTable:
+    def test_contains_title_columns_rows(self):
+        text = render_table("T", ["a", "bb"], [[1, 2], [33, 4]], note="n")
+        assert "=== T ===" in text
+        assert "a" in text and "bb" in text
+        assert "33" in text
+        assert "note: n" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table("empty", ["x"], [])
+        assert "empty" in text
+
+    def test_csv(self):
+        csv = rows_to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        assert csv == "a,b\n1,x\n2,y\n"
+
+
+class TestRegression:
+    def test_exact_line_recovered(self):
+        slope, intercept = linear_fit([1, 2, 3], [5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(3.0)
+
+    def test_projection(self):
+        assert project([64, 256, 1024], [10, 12, 20], 4096) > 20
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [3])
+
+
+class TestExperimentResult:
+    def test_render_and_csv(self):
+        r = ExperimentResult(
+            experiment="Figure X", title="t", columns=["c1", "c2"],
+            rows=[[1, 2]], note="hello",
+        )
+        assert "Figure X" in r.render()
+        assert r.csv().startswith("c1,c2")

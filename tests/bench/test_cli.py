@@ -1,0 +1,37 @@
+"""The `python -m repro.bench` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_list_mode(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1", "fig5a", "fig9", "ablation-pmi"):
+        assert name in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_unknown_experiment():
+    assert main(["nope"]) == 2
+
+
+def test_runs_small_experiment(capsys):
+    assert main(["fig6c"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6(c)" in out
+    assert "fadd" in out
+
+
+def test_every_registered_name_is_callable():
+    # The registry must stay in sync with the experiments package.
+    from repro.bench import experiments
+
+    assert len(EXPERIMENTS) == 16
+    for name, fn in EXPERIMENTS.items():
+        assert callable(fn), name

@@ -1,0 +1,70 @@
+"""Unit tests for the OSU-style microbenchmark applications."""
+
+import pytest
+
+from repro.bench import (
+    AtomicLatency,
+    BarrierLatency,
+    CollectiveLatency,
+    GetLatency,
+    PutLatency,
+    run_job,
+    PROPOSED,
+)
+
+
+def test_put_latency_monotone_in_size():
+    result = run_job(
+        PutLatency(sizes=[8, 4096, 262144], iterations=20),
+        npes=2, config=PROPOSED, testbed="A", ppn=1, heap_backing_kb=512,
+    )
+    lat = result.app_results[0]
+    assert lat[8] < lat[4096] < lat[262144]
+    # Large messages are bandwidth-bound: 256KB at ~4 GB/s is ~65us wire.
+    assert lat[262144] > 60.0
+
+
+def test_get_costs_more_than_put_small():
+    put = run_job(
+        PutLatency(sizes=[8], iterations=20), npes=2, config=PROPOSED,
+        testbed="A", ppn=1,
+    ).app_results[0][8]
+    get = run_job(
+        GetLatency(sizes=[8], iterations=20), npes=2, config=PROPOSED,
+        testbed="A", ppn=1,
+    ).app_results[0][8]
+    # A read is a full round trip with the payload on the return leg;
+    # in this model it is at least as expensive as a write.
+    assert get >= put * 0.95
+
+
+def test_atomics_report_all_six_ops():
+    result = run_job(
+        AtomicLatency(iterations=10), npes=2, config=PROPOSED,
+        testbed="A", ppn=1,
+    )
+    lat = result.app_results[0]
+    assert set(lat) == {"fadd", "finc", "add", "inc", "cswap", "swap"}
+    assert all(v > 0 for v in lat.values())
+
+
+def test_collective_kind_validated():
+    with pytest.raises(ValueError):
+        CollectiveLatency("gather")
+
+
+def test_collect_scales_with_size():
+    result = run_job(
+        CollectiveLatency("collect", sizes=[64, 4096], iterations=5),
+        npes=8, config=PROPOSED, testbed="A", heap_backing_kb=512,
+    )
+    lat = result.app_results[0]
+    assert lat[4096] > lat[64]
+
+
+def test_barrier_latency_positive_and_small():
+    result = run_job(
+        BarrierLatency(iterations=20), npes=16, config=PROPOSED, testbed="A",
+    )
+    lat = result.app_results[0]
+    assert 0.0 < lat < 1000.0

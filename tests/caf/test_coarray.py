@@ -1,0 +1,148 @@
+"""CAF-layer tests: coarrays, SYNC ALL / SYNC IMAGES, CO_SUM."""
+
+import numpy as np
+import pytest
+
+from repro.caf import Coarray, caf_co_sum, caf_sync_all, caf_sync_images
+from repro.errors import ShmemError
+
+from ..shmem.conftest import run_shmem
+
+
+class TestCoarrayBasics:
+    def test_local_image_view_is_writable(self):
+        def prog(pe):
+            A = Coarray(pe, shape=(4, 4))
+            A.local[:] = pe.mype
+            yield from caf_sync_all(pe)
+            return float(A.local.sum())
+
+        result = run_shmem(prog, npes=3)
+        assert result.app_results == [0.0, 16.0, 32.0]
+
+    def test_remote_scalar_get_put(self):
+        def prog(pe):
+            A = Coarray(pe, shape=(8,))
+            A.local[:] = np.arange(8) + pe.mype * 10
+            yield from caf_sync_all(pe)
+            right = (pe.mype + 1) % pe.npes
+            x = yield from A.get((3,), right)       # A(4)[right]
+            yield from A.put((0,), right, 99.0)     # A(1)[right] = 99
+            yield from caf_sync_all(pe)
+            return x, float(A.local[0])
+
+        result = run_shmem(prog, npes=4)
+        for rank, (x, first) in enumerate(result.app_results):
+            assert x == 3 + ((rank + 1) % 4) * 10
+            assert first == 99.0
+
+    def test_slab_transfer(self):
+        def prog(pe):
+            A = Coarray(pe, shape=(2, 6))
+            A.local[:] = np.arange(12).reshape(2, 6) + pe.mype * 100
+            yield from caf_sync_all(pe)
+            left = (pe.mype - 1) % pe.npes
+            slab = yield from A.get_slab((1, 0), 6, left)
+            yield from A.put_slab((0, 0), left, np.full(3, -1.0))
+            yield from caf_sync_all(pe)
+            return slab, A.local[0, :3].copy()
+
+        result = run_shmem(prog, npes=3)
+        for rank, (slab, head) in enumerate(result.app_results):
+            src = (rank - 1) % 3
+            assert np.allclose(slab, np.arange(6, 12) + src * 100)
+            assert np.allclose(head, [-1.0, -1.0, -1.0])
+
+    def test_bounds_checking(self):
+        def prog(pe):
+            A = Coarray(pe, shape=(4,))
+            with pytest.raises(ShmemError):
+                A._offset((4,))
+            with pytest.raises(ShmemError):
+                A._offset((0, 0))
+            with pytest.raises(ShmemError):
+                Coarray(pe, shape=())
+            yield from caf_sync_all(pe)
+            return True
+
+        assert all(run_shmem(prog, npes=2).app_results)
+
+
+class TestSyncImages:
+    def test_pairwise_sync_orders_data(self):
+        """Producer/consumer with SYNC IMAGES: the consumer must see the
+        producer's value, without any global barrier."""
+
+        def prog(pe):
+            A = Coarray(pe, shape=(1,))
+            yield from caf_sync_all(pe)
+            if pe.mype == 0:
+                yield pe.sim.timeout(400.0)  # produce late
+                yield from A.put((0,), 1, 42.0)
+                yield from caf_sync_images(pe, [1])
+                return None
+            if pe.mype == 1:
+                yield from caf_sync_images(pe, [0])
+                return float(A.local[0])
+            return None  # images 2+ are not involved and never block
+
+        result = run_shmem(prog, npes=4)
+        assert result.app_results[1] == 42.0
+
+    def test_repeated_sync_images(self):
+        def prog(pe):
+            partner = pe.mype ^ 1
+            values = []
+            A = Coarray(pe, shape=(1,))
+            yield from caf_sync_all(pe)
+            for round_no in range(3):
+                yield from A.put((0,), partner, float(10 * pe.mype + round_no))
+                yield from caf_sync_images(pe, [partner])
+                values.append(float(A.local[0]))
+                yield from caf_sync_images(pe, [partner])
+            return values
+
+        result = run_shmem(prog, npes=2)
+        assert result.app_results[0] == [10.0, 11.0, 12.0]
+        assert result.app_results[1] == [0.0, 1.0, 2.0]
+
+
+class TestCoSum:
+    def test_co_sum(self):
+        def prog(pe):
+            yield from caf_sync_all(pe)
+            total = yield from caf_co_sum(pe, float(pe.mype))
+            return total
+
+        result = run_shmem(prog, npes=5)
+        assert all(v == 10.0 for v in result.app_results)
+
+
+class TestCafHeatRing:
+    def test_caf_style_ring_relaxation(self):
+        """A tiny CAF idiom end-to-end: each image owns a chunk of a
+        ring and reads halo values from neighbour images."""
+
+        def prog(pe):
+            n_local = 4
+            A = Coarray(pe, shape=(n_local,))
+            A.local[:] = pe.mype * n_local + np.arange(n_local)
+            yield from caf_sync_all(pe)
+            left = (pe.mype - 1) % pe.npes
+            right = (pe.mype + 1) % pe.npes
+            lval = yield from A.get((n_local - 1,), left)
+            rval = yield from A.get((0,), right)
+            yield from caf_sync_all(pe)
+            new = A.local.copy()
+            new[0] = (lval + A.local[1]) / 2
+            new[-1] = (A.local[-2] + rval) / 2
+            return new
+
+        result = run_shmem(prog, npes=4)
+        total = 4 * 4
+        for rank, new in enumerate(result.app_results):
+            base = rank * 4
+            expected_first = (((base - 1) % total) + base + 1) / 2
+            expected_last = ((base + 2) + ((base + 4) % total)) / 2
+            assert new[0] == expected_first
+            assert new[-1] == expected_last

@@ -1,0 +1,92 @@
+"""Unit tests for cluster topology and cost models."""
+
+import pytest
+
+from repro.cluster import (
+    CLUSTER_A_COST,
+    CLUSTER_B_COST,
+    Cluster,
+    CostModel,
+    Placement,
+    cluster_a,
+    cluster_b,
+)
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        p = Placement("block")
+        assert [p.node_of(r, 8, 4) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_cyclic_placement(self):
+        p = Placement("cyclic")
+        assert [p.node_of(r, 8, 4) for r in range(8)] == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Placement("diagonal").node_of(0, 8, 4)
+
+
+class TestCluster:
+    def test_node_counts(self):
+        c = Cluster(npes=20, ppn=8, cost=CostModel())
+        assert c.nnodes == 3
+        assert c.ranks_on_node(2) == [16, 17, 18, 19]
+        assert c.local_size(17) == 4
+        assert c.local_rank(17) == 1
+
+    def test_same_node(self):
+        c = Cluster(npes=16, ppn=8, cost=CostModel())
+        assert c.same_node(0, 7)
+        assert not c.same_node(7, 8)
+
+    def test_hops_structure(self):
+        cost = CostModel().evolve(leaf_radix=2)
+        c = Cluster(npes=8, ppn=1, cost=cost)
+        assert c.hops(0, 0) == 0
+        assert c.hops(0, 1) == 1  # same leaf
+        assert c.hops(0, 2) == 3  # across spine
+
+    def test_lids_unique_per_node(self):
+        c = Cluster(npes=32, ppn=8, cost=CostModel())
+        lids = {c.lid_of(r) for r in range(32)}
+        assert len(lids) == c.nnodes
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Cluster(npes=0, ppn=8, cost=CostModel())
+        with pytest.raises(ValueError):
+            Cluster(npes=4, ppn=0, cost=CostModel())
+
+
+class TestCostModel:
+    def test_evolve_is_pure(self):
+        base = CostModel()
+        faster = base.evolve(fabric_bandwidth=9000.0)
+        assert base.fabric_bandwidth != faster.fabric_bandwidth
+
+    def test_mr_register_scales_with_size(self):
+        cost = CostModel()
+        small = cost.mr_register_us(1024 * 1024)
+        big = cost.mr_register_us(256 * 1024 * 1024)
+        assert big > 100 * small / 2
+
+    def test_mr_register_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().mr_register_us(-1)
+
+    def test_wire_time_monotone_in_bytes_and_hops(self):
+        cost = CostModel()
+        assert cost.wire_time(4096, 1) > cost.wire_time(64, 1)
+        assert cost.wire_time(64, 3) > cost.wire_time(64, 1)
+
+    def test_presets_differ_where_expected(self):
+        assert CLUSTER_B_COST.fabric_bandwidth > CLUSTER_A_COST.fabric_bandwidth
+        assert CLUSTER_B_COST.compute_scale < CLUSTER_A_COST.compute_scale
+
+    def test_preset_factories(self):
+        a = cluster_a(64)
+        b = cluster_b(64)
+        assert a.ppn == 8 and b.ppn == 16
+        assert a.name == "Cluster-A" and b.name == "Cluster-B"
+        assert b.nnodes == 4

@@ -1,0 +1,52 @@
+"""Shared fixtures: a small assembled IB rig for substrate tests."""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+from repro.cluster import Cluster, CostModel
+from repro.ib import HCA, Fabric, VerbsContext
+from repro.sim import Counters, RngRegistry, Simulator
+
+
+@dataclass
+class Rig:
+    """A wired-up mini machine: sim + cluster + fabric + per-PE verbs."""
+
+    sim: Simulator
+    cluster: Cluster
+    fabric: Fabric
+    counters: Counters
+    hcas: List[HCA]
+    ctxs: List[VerbsContext]
+
+
+def build_rig(npes: int = 2, ppn: int = 1, cost: CostModel = None, seed: int = 7) -> Rig:
+    cost = cost or CostModel().evolve(ud_loss_prob=0.0, ud_duplicate_prob=0.0)
+    sim = Simulator()
+    cluster = Cluster(npes=npes, ppn=ppn, cost=cost, name="rig")
+    counters = Counters()
+    rng = RngRegistry(seed)
+    fabric = Fabric(sim, cluster, rng, counters)
+    hcas = [
+        HCA(sim, fabric, node=n, lid=0x100 + n, cost=cost, counters=counters)
+        for n in range(cluster.nnodes)
+    ]
+    ctxs = [
+        VerbsContext(sim, hcas[cluster.node_of(r)], r, cost, counters)
+        for r in range(npes)
+    ]
+    return Rig(sim, cluster, fabric, counters, hcas, ctxs)
+
+
+@pytest.fixture
+def rig2():
+    """Two PEs on two nodes, lossless UD."""
+    return build_rig(npes=2, ppn=1)
+
+
+@pytest.fixture
+def rig4_shared():
+    """Four PEs on two nodes (2 ppn), lossless UD."""
+    return build_rig(npes=4, ppn=2)

@@ -1,0 +1,59 @@
+"""Calibration regression guard.
+
+The cost model was calibrated once so Figure 5's ratios land near the
+paper's (~3x init / ~8.3x Hello World at 8,192 PEs — measured 3.96x /
+9.08x, see EXPERIMENTS.md).  These tests pin the mid-scale ratios in
+loose bands so an accidental cost-model change that silently breaks
+the reproduction fails fast, without running the expensive 8K sweep.
+"""
+
+import pytest
+
+from repro.apps import HelloWorld
+from repro.cluster import cluster_b
+from repro.core import Job, RuntimeConfig
+
+
+@pytest.fixture(scope="module")
+def results_1024():
+    out = {}
+    for name, config in (
+        ("current", RuntimeConfig.current()),
+        ("proposed", RuntimeConfig.proposed()),
+    ):
+        out[name] = Job(
+            npes=1024, config=config, cluster=cluster_b(1024)
+        ).run(HelloWorld())
+    return out
+
+
+def test_init_ratio_band_at_1024(results_1024):
+    ratio = (
+        results_1024["current"].startup.mean_us
+        / results_1024["proposed"].startup.mean_us
+    )
+    # Full-scale reference: 1.32x at 1024 (extrapolating to ~4x at 8K).
+    assert 1.2 < ratio < 1.6, ratio
+
+
+def test_hello_ratio_band_at_1024(results_1024):
+    ratio = (
+        results_1024["current"].wall_time_us
+        / results_1024["proposed"].wall_time_us
+    )
+    # Full-scale reference: 1.97x at 1024 (extrapolating to ~9x at 8K).
+    assert 1.6 < ratio < 2.5, ratio
+
+
+def test_proposed_absolute_init_band(results_1024):
+    # The proposed design's constant: registration + shm + misc.
+    mean_s = results_1024["proposed"].startup.mean_us / 1e6
+    assert 0.9 < mean_s < 1.4, mean_s
+
+
+def test_static_endpoint_count_is_exactly_n(results_1024):
+    assert results_1024["current"].resources.mean_rc_qps == 1024
+
+
+def test_proposed_endpoints_tiny_at_1024(results_1024):
+    assert results_1024["proposed"].resources.mean_endpoints < 8

@@ -1,0 +1,77 @@
+"""Conduit-level test rig: conduits wired over the IB + PMI substrates."""
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.cluster import Cluster, CostModel
+from repro.gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
+from repro.ib import HCA, Fabric, VerbsContext
+from repro.pmi import PMIClient, PMIDomain
+from repro.sim import Counters, RngRegistry, Simulator, spawn
+
+
+@dataclass
+class CRig:
+    sim: Simulator
+    cluster: Cluster
+    counters: Counters
+    ctxs: List[VerbsContext]
+    conduits: list
+    pmi: List[PMIClient]
+
+
+def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
+                      ready=True):
+    """Assemble conduits with endpoints initialised and directory set.
+
+    With ``ready=True`` every conduit is marked ready and the UD
+    directory is installed directly (no PMI), so handshake tests can
+    focus on the protocol itself.
+    """
+    cost = cost or CostModel().evolve(ud_loss_prob=0.0, ud_duplicate_prob=0.0)
+    sim = Simulator()
+    cluster = Cluster(npes=npes, ppn=ppn, cost=cost, name="crig")
+    counters = Counters()
+    rng = RngRegistry(seed)
+    fabric = Fabric(sim, cluster, rng, counters)
+    hcas = [
+        HCA(sim, fabric, node=n, lid=0x100 + n, cost=cost, counters=counters)
+        for n in range(cluster.nnodes)
+    ]
+    ctxs = [
+        VerbsContext(sim, hcas[cluster.node_of(r)], r, cost, counters)
+        for r in range(npes)
+    ]
+    domain = PMIDomain(sim, cluster, counters)
+    pmi = [PMIClient(domain, r) for r in range(npes)]
+    network = ConduitNetwork()
+    cls = OnDemandConduit if mode == "on-demand" else StaticConduit
+    conduits = [
+        cls(sim, network, ctxs[r], cluster, pmi[r], r) for r in range(npes)
+    ]
+
+    def boot(sim):
+        for c in conduits:
+            yield from c.init_endpoint()
+        directory = {r: conduits[r].ud_address for r in range(npes)}
+        for c in conduits:
+            c.set_ud_directory(directory)
+            if ready:
+                c.mark_ready()
+
+    spawn(sim, boot(sim), name="boot")
+    sim.run()
+    return CRig(sim, cluster, counters, ctxs, conduits, pmi)
+
+
+@pytest.fixture
+def crig2():
+    return build_conduit_rig(npes=2, ppn=1)
+
+
+@pytest.fixture
+def crig4():
+    """4 PEs, 2 nodes x 2 ppn (on-demand)."""
+    return build_conduit_rig(npes=4, ppn=2)

@@ -1,0 +1,64 @@
+"""Randomised stress tests for the on-demand handshake under load."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cluster_a
+from repro.core import Job, RuntimeConfig
+
+from ..shmem.conftest import FuncApp
+
+
+def _random_comm_prog(k: int, seed: int):
+    def prog(pe):
+        f8 = np.dtype(np.int64).itemsize
+        cells = pe.shmalloc(pe.npes * f8)
+        yield from pe.barrier_all()
+        rng = np.random.default_rng(seed + pe.mype)
+        targets = rng.choice(pe.npes, size=k, replace=True)
+        for t in targets:
+            # Everyone writes its rank into slot [mype] of the target.
+            yield from pe.put_value(int(t), cells + pe.mype * f8, pe.mype + 1)
+        yield from pe.barrier_all()
+        got = pe.view(cells, np.int64, pe.npes).copy()
+        # Every nonzero slot i must contain i+1.
+        writers = np.nonzero(got)[0]
+        return all(got[i] == i + 1 for i in writers), len(writers)
+
+    return prog
+
+
+class TestHandshakeStress:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_dense_random_puts_all_land(self, seed):
+        cfg = RuntimeConfig.proposed(heap_backing_kb=256)
+        job = Job(npes=32, config=cfg, cluster=cluster_a(32, ppn=4))
+        result = job.run(FuncApp(_random_comm_prog(k=12, seed=seed)))
+        assert all(ok for ok, _ in result.app_results)
+        # At least some cross-PE traffic actually happened.
+        assert sum(n for _, n in result.app_results) > 32
+
+    def test_stress_with_heavy_ud_loss(self):
+        cfg = RuntimeConfig.proposed(heap_backing_kb=256)
+        cluster = cluster_a(24, ppn=3)
+        cluster.cost = cluster.cost.evolve(
+            ud_loss_prob=0.25, ud_duplicate_prob=0.05
+        )
+        job = Job(npes=24, config=cfg, cluster=cluster)
+        result = job.run(FuncApp(_random_comm_prog(k=8, seed=99)))
+        assert all(ok for ok, _ in result.app_results)
+        assert job.counters["conduit.connect_retries"] > 0
+
+    def test_exactly_one_qp_per_connected_pair(self):
+        """After arbitrary collisions, QP pairs must be consistent."""
+        cfg = RuntimeConfig.proposed(heap_backing_kb=256)
+        job = Job(npes=16, config=cfg, cluster=cluster_a(16, ppn=2))
+        result = job.run(FuncApp(_random_comm_prog(k=10, seed=7)))
+        assert all(ok for ok, _ in result.app_results)
+        for rank, conduit in enumerate(job.conduits):
+            for peer, conn in conduit._conns.items():
+                peer_conn = job.conduits[peer]._conns.get(rank)
+                assert peer_conn is not None, (rank, peer)
+                # The two QPs reference each other.
+                assert conn.qp.remote == peer_conn.qp.address
+                assert peer_conn.qp.remote == conn.qp.address

@@ -1,0 +1,65 @@
+"""The paper-faithful PMIX_* functional aliases."""
+
+from repro.cluster import Cluster, CostModel
+from repro.pmi import (
+    PMIClient,
+    PMIDomain,
+    PMIX_Iallgather,
+    PMIX_Ifence,
+    PMIX_Ring,
+    PMIX_Wait,
+)
+from repro.sim import Counters, Simulator, spawn
+
+
+def make(npes=4, ppn=2):
+    sim = Simulator()
+    cluster = Cluster(npes=npes, ppn=ppn, cost=CostModel(), name="t")
+    domain = PMIDomain(sim, cluster, Counters())
+    return sim, [PMIClient(domain, r) for r in range(npes)]
+
+
+def test_iallgather_alias_roundtrip():
+    sim, clients = make()
+    out = {}
+
+    def pe(sim, client):
+        handle = PMIX_Iallgather(client, client.rank * 3)
+        result = yield PMIX_Wait(handle)
+        out[client.rank] = result
+
+    for c in clients:
+        spawn(sim, pe(sim, c))
+    sim.run()
+    assert out[0] == {0: 0, 1: 3, 2: 6, 3: 9}
+
+
+def test_ifence_alias_commits_puts():
+    sim, clients = make()
+    seen = {}
+
+    def pe(sim, client):
+        yield from client.put(f"x-{client.rank}", client.rank)
+        handle = PMIX_Ifence(client)
+        yield PMIX_Wait(handle)
+        seen[client.rank] = yield from client.get(f"x-{(client.rank + 1) % 4}")
+
+    for c in clients:
+        spawn(sim, pe(sim, c))
+    sim.run()
+    assert seen == {0: 1, 1: 2, 2: 3, 3: 0}
+
+
+def test_ring_alias_neighbors():
+    sim, clients = make()
+    out = {}
+
+    def pe(sim, client):
+        left, right = yield from PMIX_Ring(client, client.rank)
+        out[client.rank] = (left, right)
+
+    for c in clients:
+        spawn(sim, pe(sim, c))
+    sim.run()
+    assert out[2] == (1, 3)
+    assert out[0] == (3, 1)

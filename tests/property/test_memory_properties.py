@@ -1,0 +1,134 @@
+"""Property-based tests: memory, heap and segment-codec invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShmemError
+from repro.gasnet import SegmentInfo, decode_segments, encode_segments
+from repro.ib.memory import MemoryManager
+from repro.shmem.heap import SymmetricHeap
+
+
+class TestMemoryManager:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.binary(min_size=1, max_size=50),
+            ),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_last_write_wins(self, writes):
+        mm = MemoryManager(0)
+        region = mm.register(mm.alloc(256))
+        shadow = bytearray(256)
+        for off, data in writes:
+            assume(off + len(data) <= 256)
+            mm.rdma_write(region.addr + off, region.rkey, data)
+            shadow[off:off + len(data)] = data
+        assert mm.rdma_read(region.addr, region.rkey, 256) == bytes(shadow)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["fetch_add", "cmp_swap"]),
+                st.integers(min_value=-(2**31), max_value=2**31),
+                st.integers(min_value=-(2**31), max_value=2**31),
+            ),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_atomics_match_sequential_model(self, ops):
+        mm = MemoryManager(0)
+        region = mm.register(mm.alloc(8))
+        model = 0
+        for op, compare, operand in ops:
+            old = mm.atomic(region.addr, region.rkey, op, compare, operand)
+            assert old == model
+            if op == "fetch_add":
+                model = _wrap64(model + operand)
+            elif model == compare:
+                model = _wrap64(operand)
+
+
+def _wrap64(x: int) -> int:
+    x &= 0xFFFF_FFFF_FFFF_FFFF
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+class TestSymmetricHeap:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=512),
+                       min_size=1, max_size=30)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_allocations_are_aligned_and_disjoint(self, sizes):
+        mm = MemoryManager(0)
+        heap = SymmetricHeap(mm, 64 * 1024)
+        spans = []
+        for size in sizes:
+            addr = heap.shmalloc(size)
+            assert addr % 64 == 0
+            spans.append((addr, addr + size))
+        spans.sort()
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0  # no overlap
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=512),
+                       min_size=1, max_size=30)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_sequences_yield_identical_addresses(self, sizes):
+        def allocate():
+            heap = SymmetricHeap(MemoryManager(0), 64 * 1024)
+            return [heap.shmalloc(s) for s in sizes]
+
+        assert allocate() == allocate()
+
+    def test_exhaustion_is_clean(self):
+        heap = SymmetricHeap(MemoryManager(0), 4096)
+        heap.shmalloc(4000)
+        with pytest.raises(ShmemError):
+            heap.shmalloc(200)
+        heap.reset()
+        heap.shmalloc(4000)  # usable again after reset
+
+
+class TestSegmentCodec:
+    SEGMENTS = st.lists(
+        st.builds(
+            SegmentInfo,
+            addr=st.integers(min_value=0, max_value=2**48),
+            size=st.integers(min_value=1, max_value=2**40),
+            rkey=st.integers(min_value=0, max_value=2**32),
+        ),
+        max_size=8,
+    )
+
+    @given(segments=SEGMENTS)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, segments):
+        assert decode_segments(encode_segments(segments)) == segments
+
+    @given(segments=SEGMENTS)
+    @settings(max_examples=50, deadline=None)
+    def test_wire_size_is_fixed_per_segment(self, segments):
+        assert len(encode_segments(segments)) == 24 * len(segments)
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**32),
+        rbase=st.integers(min_value=0, max_value=2**32),
+        size=st.integers(min_value=1, max_value=2**20),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_translate_preserves_offset(self, base, rbase, size, data):
+        seg = SegmentInfo(addr=rbase, size=size, rkey=1)
+        offset = data.draw(st.integers(min_value=0, max_value=size - 1))
+        assert seg.translate(base + offset, base) == rbase + offset

@@ -1,0 +1,111 @@
+"""Property-based tests: DES kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngRegistry, Simulator, spawn
+
+DELAYS = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=40,
+)
+
+
+class TestEventOrdering:
+    @given(delays=DELAYS)
+    @settings(max_examples=50, deadline=None)
+    def test_wakeups_are_time_ordered(self, delays):
+        sim = Simulator()
+        log = []
+
+        def proc(sim, d, tag):
+            yield sim.timeout(d)
+            log.append((sim.now, tag))
+
+        for i, d in enumerate(delays):
+            spawn(sim, proc(sim, d, i))
+        sim.run()
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+        assert len(log) == len(delays)
+        assert sim.now == max(delays)
+
+    @given(delays=DELAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_equal_time_wakeups_preserve_spawn_order(self, delays):
+        sim = Simulator()
+        log = []
+        fixed = 5.0
+
+        def proc(sim, tag):
+            yield sim.timeout(fixed)
+            log.append(tag)
+
+        n = len(delays)
+        for i in range(n):
+            spawn(sim, proc(sim, i))
+        sim.run()
+        assert log == list(range(n))
+
+    @given(delays=DELAYS, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_is_deterministic(self, delays, seed):
+        def trace(run_delays):
+            sim = Simulator()
+            rng = RngRegistry(seed).stream("jitter")
+            log = []
+
+            def proc(sim, d, tag):
+                yield sim.timeout(d + float(rng.random()))
+                log.append((sim.now, tag))
+
+            for i, d in enumerate(run_delays):
+                spawn(sim, proc(sim, d, i))
+            sim.run()
+            return log
+
+        assert trace(delays) == trace(delays)
+
+
+class TestProcessJoin:
+    @given(
+        tree=st.recursive(
+            st.floats(min_value=0.0, max_value=100.0),
+            lambda children: st.lists(children, min_size=1, max_size=3),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_join_returns_after_all_descendants(self, tree):
+        sim = Simulator()
+
+        def node(sim, spec):
+            if isinstance(spec, float):
+                yield sim.timeout(spec)
+                return spec
+            procs = [spawn(sim, node(sim, child)) for child in spec]
+            values = yield sim.all_of(procs)
+            return sum(v for v in values)
+
+        out = {}
+
+        def main(sim):
+            out["total"] = yield spawn(sim, node(sim, tree))
+            out["at"] = sim.now
+
+        spawn(sim, main(sim))
+        sim.run()
+
+        def total(spec):
+            if isinstance(spec, float):
+                return spec
+            return sum(total(c) for c in spec)
+
+        def depth_max(spec):
+            if isinstance(spec, float):
+                return spec
+            return max(depth_max(c) for c in spec)
+
+        assert out["total"] == total(tree)
+        assert out["at"] == depth_max(tree)

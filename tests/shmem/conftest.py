@@ -1,0 +1,38 @@
+"""Fixtures: run small OpenSHMEM programs through the full Job stack."""
+
+from typing import Callable, List
+
+import pytest
+
+from repro.core import Job, RuntimeConfig
+from repro.apps import Application
+
+
+class FuncApp(Application):
+    """Wrap a ``fn(pe) -> Generator`` as an Application."""
+
+    name = "func"
+
+    def __init__(self, fn: Callable, uses_mpi: bool = False) -> None:
+        self.fn = fn
+        self.uses_mpi = uses_mpi
+
+    def run(self, pe):
+        result = yield from self.fn(pe)
+        return result
+
+
+def run_shmem(fn: Callable, npes: int = 4, config: RuntimeConfig = None,
+              uses_mpi: bool = False, **job_kw):
+    """Run ``fn`` on every PE; returns the JobResult."""
+    config = config or RuntimeConfig.proposed(heap_backing_kb=256)
+    job = Job(npes=npes, config=config, **job_kw)
+    return job.run(FuncApp(fn, uses_mpi=uses_mpi))
+
+
+@pytest.fixture(params=["ondemand", "static"])
+def any_mode_config(request):
+    """Parametrised over both connection designs."""
+    if request.param == "static":
+        return RuntimeConfig.current(heap_backing_kb=256)
+    return RuntimeConfig.proposed(heap_backing_kb=256)

@@ -1,0 +1,129 @@
+"""Non-blocking implicit RMA (put_nbi / get_nbi / quiet)."""
+
+import numpy as np
+import pytest
+
+from .conftest import run_shmem
+
+
+class TestPutNbi:
+    def test_all_nbi_puts_land_after_quiet(self, any_mode_config):
+        def prog(pe):
+            f8 = np.dtype(np.int64).itemsize
+            cells = pe.shmalloc(pe.npes * f8)
+            yield from pe.barrier_all()
+            for peer in range(pe.npes):
+                if peer == pe.mype:
+                    continue
+                yield from pe.put_nbi(
+                    peer, cells + pe.mype * f8,
+                    np.int64(pe.mype + 1).tobytes(),
+                )
+            yield from pe.quiet()
+            yield from pe.barrier_all()
+            got = pe.view(cells, np.int64, pe.npes).copy()
+            return got
+
+        result = run_shmem(prog, npes=6, config=any_mode_config)
+        for rank, got in enumerate(result.app_results):
+            for src in range(6):
+                if src != rank:
+                    assert got[src] == src + 1, (rank, src)
+
+    def test_nbi_pipelines_faster_than_blocking(self):
+        """Many puts to one cross-node peer: nbi overlaps the round
+        trips, blocking serialises them."""
+
+        def make(blocking):
+            def prog(pe):
+                buf = pe.shmalloc(64 * 32)
+                yield from pe.barrier_all()
+                dt = 0.0
+                if pe.mype == 0:
+                    # Warm the connection so the handshake is not timed.
+                    yield from pe.put(pe.npes - 1, buf, b"w" * 64)
+                    start = pe.sim.now
+                    for i in range(32):
+                        if blocking:
+                            yield from pe.put(
+                                pe.npes - 1, buf + 64 * i, b"z" * 64
+                            )
+                        else:
+                            yield from pe.put_nbi(
+                                pe.npes - 1, buf + 64 * i, b"z" * 64
+                            )
+                    yield from pe.quiet()
+                    dt = pe.sim.now - start
+                yield from pe.barrier_all()
+                return dt
+
+            return prog
+
+        from repro.cluster import cluster_a
+
+        blocking = run_shmem(
+            make(True), npes=4, cluster=cluster_a(4, ppn=1)
+        ).app_results[0]
+        nbi = run_shmem(
+            make(False), npes=4, cluster=cluster_a(4, ppn=1)
+        ).app_results[0]
+        assert nbi < 0.7 * blocking
+
+    def test_quiet_with_nothing_outstanding_is_cheap(self):
+        def prog(pe):
+            t0 = pe.sim.now
+            yield from pe.quiet()
+            return pe.sim.now - t0
+
+        result = run_shmem(prog, npes=2)
+        assert all(dt < 5.0 for dt in result.app_results)
+
+
+class TestGetNbi:
+    def test_get_nbi_lands_in_local_buffer(self, any_mode_config):
+        def prog(pe):
+            src = pe.shmalloc(16)
+            dst = pe.shmalloc(16)
+            pe.heap.write(src, f"data-of-{pe.mype}".encode().ljust(16, b"\0"))
+            yield from pe.barrier_all()
+            left = (pe.mype - 1) % pe.npes
+            yield from pe.get_nbi(left, src, dst, 16)
+            yield from pe.quiet()
+            return pe.heap.read(dst, 16).rstrip(b"\0").decode()
+
+        result = run_shmem(prog, npes=4, config=any_mode_config)
+        for rank, got in enumerate(result.app_results):
+            assert got == f"data-of-{(rank - 1) % 4}"
+
+    def test_self_get_nbi(self):
+        def prog(pe):
+            src, dst = pe.shmalloc(8), pe.shmalloc(8)
+            pe.heap.write(src, b"selfdata")
+            yield from pe.get_nbi(pe.mype, src, dst, 8)
+            yield from pe.quiet()
+            yield from pe.barrier_all()
+            return pe.heap.read(dst, 8)
+
+        result = run_shmem(prog, npes=2)
+        assert result.app_results == [b"selfdata", b"selfdata"]
+
+    def test_mixed_nbi_ops_drain_together(self):
+        def prog(pe):
+            a = pe.shmalloc(8)
+            b = pe.shmalloc(8)
+            c = pe.shmalloc(8)
+            pe.heap.write(a, np.int64(pe.mype + 40).tobytes())
+            yield from pe.barrier_all()
+            peer = (pe.mype + 1) % pe.npes
+            yield from pe.put_nbi(peer, b, np.int64(pe.mype).tobytes())
+            yield from pe.get_nbi(peer, a, c, 8)
+            yield from pe.quiet()
+            yield from pe.barrier_all()
+            got_b = pe.view(b, np.int64, 1)[0]
+            got_c = pe.view(c, np.int64, 1)[0]
+            return int(got_b), int(got_c)
+
+        result = run_shmem(prog, npes=4)
+        for rank, (b_val, c_val) in enumerate(result.app_results):
+            assert b_val == (rank - 1) % 4
+            assert c_val == ((rank + 1) % 4) + 40

@@ -1,0 +1,253 @@
+"""Active-set collectives, distributed locks, strided RMA, alltoall."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShmemError
+from repro.shmem import ActiveSet
+
+from .conftest import run_shmem
+
+
+class TestActiveSetMath:
+    def test_world(self):
+        aset = ActiveSet.world(8)
+        assert aset.members() == list(range(8))
+
+    def test_strided_members(self):
+        aset = ActiveSet(pe_start=1, log_pe_stride=1, pe_size=3)
+        assert aset.members() == [1, 3, 5]
+        assert aset.contains(3) and not aset.contains(2)
+        assert aset.team_rank(5) == 2
+        assert aset.global_rank(1) == 3
+
+    def test_membership_errors(self):
+        aset = ActiveSet(pe_start=0, log_pe_stride=2, pe_size=2)
+        with pytest.raises(ShmemError):
+            aset.team_rank(1)
+        with pytest.raises(ShmemError):
+            aset.global_rank(2)
+        with pytest.raises(ShmemError):
+            ActiveSet(pe_start=-1, log_pe_stride=0, pe_size=1)
+
+
+class TestTeamCollectives:
+    def test_team_barrier_only_synchronizes_members(self):
+        aset = ActiveSet(pe_start=0, log_pe_stride=1, pe_size=4)  # 0,2,4,6
+
+        def prog(pe):
+            if aset.contains(pe.mype):
+                yield pe.sim.timeout(float(pe.mype) * 50)
+                yield from pe.team_barrier(aset)
+                return pe.sim.now
+            # Non-members do something unrelated and never block.
+            yield pe.sim.timeout(1.0)
+            return None
+
+        result = run_shmem(prog, npes=8)
+        times = [t for t in result.app_results if t is not None]
+        assert len(times) == 4
+        assert max(times) - min(times) < 50.0
+
+    def test_team_broadcast_team_relative_root(self):
+        aset = ActiveSet(pe_start=1, log_pe_stride=1, pe_size=3)  # 1,3,5
+
+        def prog(pe):
+            addr = pe.shmalloc(8)
+            if pe.mype == 3:  # team rank 1
+                pe.heap.write(addr, b"TEAMDATA")
+            yield from pe.barrier_all()
+            if aset.contains(pe.mype):
+                yield from pe.team_broadcast(aset, 1, addr, 8)
+            yield from pe.barrier_all()
+            return pe.heap.read(addr, 8)
+
+        result = run_shmem(prog, npes=6)
+        for rank, blob in enumerate(result.app_results):
+            if rank in (1, 3, 5):
+                assert blob == b"TEAMDATA"
+            else:
+                assert blob == b"\0" * 8  # untouched on non-members
+
+    def test_team_reduce_over_subset(self):
+        aset = ActiveSet(pe_start=0, log_pe_stride=0, pe_size=3)  # 0,1,2
+
+        def prog(pe):
+            f8 = np.dtype(np.float64).itemsize
+            src, dst = pe.shmalloc(f8), pe.shmalloc(f8)
+            pe.view(src, np.float64, 1)[0] = float(pe.mype + 1)
+            yield from pe.barrier_all()
+            if aset.contains(pe.mype):
+                yield from pe.team_reduce(aset, src, dst, 1, np.float64)
+            yield from pe.barrier_all()
+            return float(pe.view(dst, np.float64, 1)[0])
+
+        result = run_shmem(prog, npes=6)
+        assert result.app_results[:3] == [6.0, 6.0, 6.0]
+        assert result.app_results[3:] == [0.0, 0.0, 0.0]
+
+    def test_team_fcollect_team_order(self):
+        aset = ActiveSet(pe_start=1, log_pe_stride=1, pe_size=3)  # 1,3,5
+
+        def prog(pe):
+            src = pe.shmalloc(4)
+            dst = pe.shmalloc(4 * 3)
+            pe.heap.write(src, pe.mype.to_bytes(4, "little"))
+            yield from pe.barrier_all()
+            if aset.contains(pe.mype):
+                yield from pe.team_fcollect(aset, src, dst, 4)
+            yield from pe.barrier_all()
+            return pe.heap.read(dst, 12)
+
+        result = run_shmem(prog, npes=6)
+        expected = b"".join(r.to_bytes(4, "little") for r in (1, 3, 5))
+        for rank in (1, 3, 5):
+            assert result.app_results[rank] == expected
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("npes", [2, 4, 5])
+    def test_alltoall_transpose(self, npes):
+        def prog(pe):
+            nb = 8
+            src = pe.shmalloc(nb * pe.npes)
+            dst = pe.shmalloc(nb * pe.npes)
+            view = pe.view(src, np.int64, pe.npes)
+            view[:] = [pe.mype * 100 + d for d in range(pe.npes)]
+            yield from pe.barrier_all()
+            yield from pe.alltoall(src, dst, nb)
+            return pe.view(dst, np.int64, pe.npes).copy()
+
+        result = run_shmem(prog, npes=npes)
+        for rank, got in enumerate(result.app_results):
+            assert list(got) == [s * 100 + rank for s in range(npes)]
+
+    def test_team_alltoall_subset(self):
+        aset = ActiveSet(pe_start=0, log_pe_stride=1, pe_size=2)  # 0, 2
+
+        def prog(pe):
+            nb = 8
+            src = pe.shmalloc(nb * 2)
+            dst = pe.shmalloc(nb * 2)
+            if aset.contains(pe.mype):
+                pe.view(src, np.int64, 2)[:] = [pe.mype * 10, pe.mype * 10 + 1]
+            yield from pe.barrier_all()
+            if aset.contains(pe.mype):
+                yield from pe.team_alltoall(aset, src, dst, nb)
+            yield from pe.barrier_all()
+            return pe.view(dst, np.int64, 2).copy()
+
+        result = run_shmem(prog, npes=4)
+        # team rank 0 == PE0, team rank 1 == PE2
+        assert list(result.app_results[0]) == [0, 20]
+        assert list(result.app_results[2]) == [1, 21]
+
+
+class TestLocks:
+    def test_mutual_exclusion_increments(self):
+        def prog(pe):
+            i8 = np.dtype(np.int64).itemsize
+            lock = pe.shmalloc(i8)
+            counter = pe.shmalloc(i8)
+            yield from pe.barrier_all()
+            for _ in range(3):
+                yield from pe.set_lock(lock)
+                # Non-atomic read-modify-write, protected by the lock.
+                value = yield from pe.get_value(0, counter)
+                yield pe.sim.timeout(2.0)  # widen the race window
+                yield from pe.put_value(0, counter, value + 1)
+                yield from pe.clear_lock(lock)
+            yield from pe.barrier_all()
+            return (yield from pe.get_value(0, counter))
+
+        npes = 6
+        result = run_shmem(prog, npes=npes)
+        assert all(v == 3 * npes for v in result.app_results)
+
+    def test_clear_unheld_lock_raises(self):
+        def prog(pe):
+            lock = pe.shmalloc(8)
+            yield from pe.barrier_all()
+            if pe.mype == 0:
+                with pytest.raises(ShmemError):
+                    yield from pe.clear_lock(lock)
+            yield from pe.barrier_all()
+            return True
+
+        assert all(run_shmem(prog, npes=2).app_results)
+
+    def test_test_lock_single_winner(self):
+        def prog(pe):
+            lock = pe.shmalloc(8)
+            yield from pe.barrier_all()
+            won = yield from pe.test_lock(lock)
+            yield from pe.barrier_all()
+            if won:
+                yield from pe.clear_lock(lock)
+            return won
+
+        result = run_shmem(prog, npes=5)
+        assert sum(result.app_results) == 1
+
+
+class TestStrided:
+    def test_iput_strided_scatter(self):
+        def prog(pe):
+            i8 = 8
+            src = pe.shmalloc(4 * i8)
+            dst = pe.shmalloc(8 * i8)
+            yield from pe.barrier_all()
+            if pe.mype == 0:
+                pe.view(src, np.int64, 4)[:] = [10, 11, 12, 13]
+                # scatter every element to every *second* slot at PE1
+                yield from pe.iput(1, dst, src, dst_stride=2, src_stride=1,
+                                   count=4)
+            yield from pe.barrier_all()
+            return pe.view(dst, np.int64, 8).copy()
+
+        result = run_shmem(prog, npes=2)
+        got = list(result.app_results[1])
+        assert got == [10, 0, 11, 0, 12, 0, 13, 0]
+
+    def test_iget_strided_gather(self):
+        def prog(pe):
+            i8 = 8
+            src = pe.shmalloc(8 * i8)
+            dst = pe.shmalloc(4 * i8)
+            pe.view(src, np.int64, 8)[:] = np.arange(8) + pe.mype * 100
+            yield from pe.barrier_all()
+            if pe.mype == 0:
+                yield from pe.iget(1, dst, src, dst_stride=1, src_stride=2,
+                                   count=4)
+            yield from pe.barrier_all()
+            return pe.view(dst, np.int64, 4).copy()
+
+        result = run_shmem(prog, npes=2)
+        assert list(result.app_results[0]) == [100, 102, 104, 106]
+
+    def test_contiguous_fast_path(self):
+        def prog(pe):
+            src = pe.shmalloc(32)
+            dst = pe.shmalloc(32)
+            pe.view(src, np.int64, 4)[:] = [1, 2, 3, 4]
+            yield from pe.barrier_all()
+            delta = None
+            if pe.mype == 0:
+                before = pe.counters["shmem.puts"]
+                yield from pe.iput(1, dst, src, 1, 1, 4)
+                delta = pe.counters["shmem.puts"] - before
+            yield from pe.barrier_all()
+            return delta
+
+        result = run_shmem(prog, npes=2)
+        assert result.app_results[0] == 1  # one coalesced put
+
+    def test_bad_stride_rejected(self):
+        def prog(pe):
+            src = pe.shmalloc(8)
+            with pytest.raises(ShmemError):
+                yield from pe.iput(0, src, src, 0, 1, 1)
+            yield from pe.barrier_all()
+            return True
+
+        assert all(run_shmem(prog, npes=2).app_results)

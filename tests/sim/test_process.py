@@ -1,0 +1,134 @@
+"""Unit tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.sim import ProcessFailure, SimulationError, Simulator, spawn
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+    got = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 99
+
+    def parent(sim):
+        proc = spawn(sim, child(sim), name="child")
+        got.append((yield proc))
+
+    spawn(sim, parent(sim), name="parent")
+    sim.run()
+    assert got == [99]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    got = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    def parent(sim):
+        proc = spawn(sim, child(sim))
+        yield sim.timeout(50.0)  # child finishes long before
+        got.append((yield proc))
+
+    spawn(sim, parent(sim))
+    sim.run()
+    assert got == ["done"]
+
+
+def test_child_exception_propagates_to_joiner():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("inner")
+
+    def parent(sim):
+        proc = spawn(sim, child(sim), name="bad-child")
+        try:
+            yield proc
+        except KeyError as exc:
+            caught.append(exc.args[0])
+
+    spawn(sim, parent(sim))
+    sim.run()
+    assert caught == ["inner"]
+
+
+def test_unjoined_exception_aborts_run():
+    sim = Simulator()
+
+    def lonely(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("nobody is listening")
+
+    spawn(sim, lonely(sim), name="lonely")
+    with pytest.raises(ProcessFailure) as info:
+        sim.run()
+    assert "lonely" in str(info.value)
+    assert isinstance(info.value.cause, RuntimeError)
+
+
+def test_yield_non_waitable_is_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    def parent(sim):
+        p = spawn(sim, bad(sim), name="bad")
+        with pytest.raises(SimulationError):
+            yield p
+
+    spawn(sim, parent(sim))
+    sim.run()
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        spawn(sim, lambda: None)
+
+
+def test_many_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, pid, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, pid))
+
+    for pid, period in [(0, 3.0), (1, 5.0), (2, 7.0)]:
+        spawn(sim, worker(sim, pid, period), name=f"w{pid}")
+    sim.run()
+    assert log == sorted(log, key=lambda pair: pair[0])
+    assert len(log) == 9
+    assert sim.now == 21.0
+
+
+def test_process_tree_fan_out_fan_in():
+    sim = Simulator()
+
+    def leaf(sim, n):
+        yield sim.timeout(float(n))
+        return n * n
+
+    def root(sim):
+        children = [spawn(sim, leaf(sim, n)) for n in range(1, 6)]
+        values = yield sim.all_of(children)
+        return sum(values)
+
+    results = []
+
+    def main(sim):
+        results.append((yield spawn(sim, root(sim))))
+
+    spawn(sim, main(sim))
+    sim.run()
+    assert results == [1 + 4 + 9 + 16 + 25]

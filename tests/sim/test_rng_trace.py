@@ -1,0 +1,121 @@
+"""Unit tests for RNG streams and tracing helpers."""
+
+import pytest
+
+from repro.sim import Counters, PhaseTimer, RngRegistry, Simulator, Tracer, spawn
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(7)
+        assert reg.stream("ud-loss") is reg.stream("ud-loss")
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("x").random(5)
+        b = RngRegistry(7).stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(7)
+        a = reg.stream("a").random(5)
+        b = reg.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(5)
+        b = RngRegistry(2).stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_fork_is_independent(self):
+        reg = RngRegistry(7)
+        forked = reg.fork("child")
+        a = reg.stream("x").random(5)
+        b = forked.stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(-1)
+
+
+class TestCounters:
+    def test_default_zero_and_add(self):
+        c = Counters()
+        assert c["nope"] == 0
+        c.add("qp", 3)
+        c.add("qp")
+        assert c["qp"] == 4
+        assert c.as_dict() == {"qp": 4}
+        c.reset()
+        assert c["qp"] == 0
+
+
+class TestPhaseTimer:
+    def test_breakdown_accumulates_simulated_time(self):
+        sim = Simulator()
+        timer = PhaseTimer(sim)
+
+        def proc(sim):
+            timer.begin("alpha")
+            yield sim.timeout(5.0)
+            timer.begin("beta")  # implicitly ends alpha
+            yield sim.timeout(3.0)
+            timer.begin("alpha")
+            yield sim.timeout(2.0)
+            timer.stop()
+
+        spawn(sim, proc(sim))
+        sim.run()
+        bd = timer.breakdown()
+        assert bd == {"alpha": 7.0, "beta": 3.0}
+
+    def test_total_of_open_phase_includes_elapsed(self):
+        sim = Simulator()
+        timer = PhaseTimer(sim)
+        observed = []
+
+        def proc(sim):
+            timer.begin("x")
+            yield sim.timeout(4.0)
+            observed.append(timer.total("x"))
+            yield sim.timeout(1.0)
+            timer.stop()
+
+        spawn(sim, proc(sim))
+        sim.run()
+        assert observed == [4.0]
+        assert timer.breakdown()["x"] == 5.0
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        tr = Tracer(sim)
+        tr.log("a", "kind")
+        assert len(tr) == 0
+
+    def test_records_time_and_filters_by_kind(self):
+        sim = Simulator()
+        tr = Tracer(sim, enabled=True)
+
+        def proc(sim):
+            yield sim.timeout(2.0)
+            tr.log("pe0", "send", {"to": 1})
+            yield sim.timeout(2.0)
+            tr.log("pe1", "recv", {"frm": 0})
+
+        spawn(sim, proc(sim))
+        sim.run()
+        assert len(tr) == 2
+        sends = tr.of_kind("send")
+        assert len(sends) == 1 and sends[0].time == 2.0 and sends[0].actor == "pe0"
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_capacity_bounds_memory(self):
+        sim = Simulator()
+        tr = Tracer(sim, capacity=10, enabled=True)
+        for i in range(100):
+            tr.log("a", "k", i)
+        assert len(tr) == 10
+        assert [r.detail for r in tr] == list(range(90, 100))

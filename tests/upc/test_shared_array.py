@@ -1,0 +1,192 @@
+"""UPC-layer tests: shared arrays over the unified conduit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShmemError
+from repro.upc import SharedArray, upc_all_reduce, upc_barrier
+
+from ..shmem.conftest import run_shmem
+
+
+class TestAffinityMath:
+    def test_cyclic_layout_block_1(self):
+        """shared double A[8] on 4 threads: element i -> thread i%4."""
+
+        def prog(pe):
+            arr = SharedArray(pe, total=8, block=1)
+            yield from upc_barrier(pe)
+            return [arr.owner_and_offset(i) for i in range(8)]
+
+        result = run_shmem(prog, npes=4)
+        mapping = result.app_results[0]
+        assert mapping == [
+            (0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1), (3, 1),
+        ]
+
+    def test_blocked_layout(self):
+        """shared [4] double A[16] on 2 threads."""
+
+        def prog(pe):
+            arr = SharedArray(pe, total=16, block=4)
+            yield from upc_barrier(pe)
+            return [arr.owner_and_offset(i)[0] for i in range(16)]
+
+        result = run_shmem(prog, npes=2)
+        owners = result.app_results[0]
+        assert owners == [0] * 4 + [1] * 4 + [0] * 4 + [1] * 4
+
+    def test_my_indices_partition(self):
+        def prog(pe):
+            arr = SharedArray(pe, total=13, block=3)
+            yield from upc_barrier(pe)
+            return arr.my_indices()
+
+        result = run_shmem(prog, npes=3)
+        union = sorted(i for idxs in result.app_results for i in idxs)
+        assert union == list(range(13))
+
+    def test_out_of_range(self):
+        def prog(pe):
+            arr = SharedArray(pe, total=4)
+            with pytest.raises(ShmemError):
+                arr.owner_and_offset(4)
+            yield from upc_barrier(pe)
+            return True
+
+        assert all(run_shmem(prog, npes=2).app_results)
+
+
+class TestRemoteAccess:
+    def test_put_get_roundtrip_any_affinity(self):
+        def prog(pe):
+            arr = SharedArray(pe, total=12, block=2)
+            yield from upc_barrier(pe)
+            # Thread 0 writes every element; all threads read back.
+            if pe.mype == 0:
+                for i in range(12):
+                    yield from arr.put(i, i * 1.5)
+            yield from upc_barrier(pe)
+            vals = []
+            for i in range(12):
+                v = yield from arr.get(i)
+                vals.append(v)
+            return vals
+
+        result = run_shmem(prog, npes=4)
+        expected = [i * 1.5 for i in range(12)]
+        assert all(vals == expected for vals in result.app_results)
+
+    def test_memput_memget_cross_affinity_runs(self):
+        def prog(pe):
+            arr = SharedArray(pe, total=20, block=3)
+            yield from upc_barrier(pe)
+            if pe.mype == 1:
+                yield from arr.memput(2, np.arange(15, dtype=np.float64))
+            yield from upc_barrier(pe)
+            data = yield from arr.memget(2, 15)
+            return data
+
+        result = run_shmem(prog, npes=4)
+        for data in result.app_results:
+            assert np.allclose(data, np.arange(15))
+
+    def test_local_affinity_is_direct(self):
+        def prog(pe):
+            arr = SharedArray(pe, total=8, block=1)
+            yield from upc_barrier(pe)
+            mine = arr.my_indices()
+            for i in mine:
+                yield from arr.put(i, float(i))
+            view = arr.my_view()
+            return list(view), [float(i) for i in mine]
+
+        result = run_shmem(prog, npes=4)
+        for got, expected in result.app_results:
+            assert got == expected
+
+
+class TestUpcCollectives:
+    def test_all_reduce_sum(self):
+        def prog(pe):
+            yield from upc_barrier(pe)
+            total = yield from upc_all_reduce(pe, float(pe.mype + 1))
+            return total
+
+        result = run_shmem(prog, npes=5)
+        assert all(v == 15.0 for v in result.app_results)
+
+    def test_all_reduce_max(self):
+        def prog(pe):
+            yield from upc_barrier(pe)
+            total = yield from upc_all_reduce(
+                pe, float((pe.mype * 7) % 5), op="max"
+            )
+            return total
+
+        result = run_shmem(prog, npes=4)
+        assert len(set(result.app_results)) == 1
+
+
+class TestUpcStencil:
+    def test_upc_style_stencil_relaxation(self):
+        """A UPC idiom end-to-end: upc_forall-style owner-computes."""
+
+        def prog(pe):
+            n = 16
+            arr = SharedArray(pe, total=n, block=2)
+            yield from upc_barrier(pe)
+            # init: A[i] = i, owner computes
+            for i in arr.my_indices():
+                yield from arr.put(i, float(i))
+            yield from upc_barrier(pe)
+            # one relaxation sweep: A[i] = (A[i-1]+A[i+1])/2, interior
+            new = {}
+            for i in arr.my_indices():
+                if 0 < i < n - 1:
+                    left = yield from arr.get(i - 1)
+                    right = yield from arr.get(i + 1)
+                    new[i] = (left + right) / 2.0
+            yield from upc_barrier(pe)
+            for i, v in new.items():
+                yield from arr.put(i, v)
+            yield from upc_barrier(pe)
+            out = yield from arr.memget(0, n)
+            return out
+
+        result = run_shmem(prog, npes=4)
+        expected = np.arange(16, dtype=float)  # linear field is a fixed point
+        for out in result.app_results:
+            assert np.allclose(out, expected)
+
+
+class TestSharedArrayProperties:
+    @given(
+        total=st.integers(min_value=1, max_value=64),
+        block=st.integers(min_value=1, max_value=9),
+        threads=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_layout_invariants_without_running_sim(self, total, block, threads):
+        """Pure affinity math: bijection between indices and slots."""
+
+        class _FakePE:
+            npes = threads
+            mype = 0
+
+            def shmalloc(self, size):
+                return 0x1000
+
+            def view(self, addr, dtype, count):  # pragma: no cover
+                return np.zeros(count)
+
+        arr = SharedArray(_FakePE(), total=total, block=block)
+        slots = set()
+        for i in range(total):
+            owner, off = arr.owner_and_offset(i)
+            assert 0 <= owner < threads
+            assert off >= 0
+            slots.add((owner, off))
+        assert len(slots) == total  # injective: no two indices collide
