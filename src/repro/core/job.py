@@ -25,7 +25,7 @@ from ..ib import HCA, Fabric, VerbsContext
 from ..mpi import Communicator
 from ..pmi import PMIClient, PMIDomain
 from ..shmem import ShmemPE
-from ..sim import Barrier, Counters, RngRegistry, Simulator, spawn
+from ..sim import Barrier, Counters, RngRegistry, Simulator, Tracer, spawn
 from .config import RuntimeConfig
 from .metrics import JobResult, ResourceReport, StartupReport
 
@@ -41,6 +41,7 @@ class Job:
         config: Optional[RuntimeConfig] = None,
         cluster: Optional[Cluster] = None,
         cluster_factory: Optional[Callable[[int], Cluster]] = None,
+        trace: bool = False,
     ) -> None:
         if npes < 1:
             raise ConfigError("npes must be >= 1")
@@ -77,6 +78,10 @@ class Job:
         self.pmi_domain = PMIDomain(self.sim, self.cluster, self.counters)
         self.pmi = [PMIClient(self.pmi_domain, r) for r in range(npes)]
         self.network = ConduitNetwork()
+        #: Protocol-level event log (connects, AMs, RMA); off by default
+        #: so it costs one pointer check on the hot paths.
+        self.tracer = Tracer(self.sim, enabled=trace)
+        self.network.tracer = self.tracer
         conduit_cls = (
             StaticConduit if self.config.connection_mode == "static"
             else OnDemandConduit
@@ -117,7 +122,7 @@ class Job:
 
         def pe_main(rank: int):
             pe = self.pes[rank]
-            yield self.sim.timeout(float(skews[rank]))
+            yield float(skews[rank])
             yield from pe.start_pes()
             if uses_mpi:
                 pe.mpi = Communicator(pe)

@@ -42,7 +42,7 @@ from ..ib import (
 )
 from ..ib.types import Opcode
 from ..pmi import PMIClient, PMIHandle
-from ..sim import Semaphore, SimEvent, Simulator, spawn
+from ..sim import Semaphore, SimEvent, Simulator, Tracer, spawn
 from .messages import ActiveMessage, ConnectReply, ConnectRequest
 
 __all__ = ["Conduit", "ConduitNetwork", "Connection"]
@@ -58,6 +58,10 @@ class ConduitNetwork:
         #: PE (e.g. the parsed UD directory) — avoids O(N^2) Python
         #: work at scale.  Timing is still charged per PE.
         self.shared_cache: Dict[str, Any] = {}
+        #: Optional protocol tracer shared by every conduit (installed
+        #: by ``Job(trace=True)``); used by the golden-trace
+        #: determinism tests.
+        self.tracer: Optional[Tracer] = None
 
     def register(self, conduit: "Conduit") -> None:
         self._conduits[conduit.rank] = conduit
@@ -102,6 +106,7 @@ class Conduit:
         self.pmi = pmi
         self.rank = rank
         self.counters = ctx.counters
+        self.tracer = network.tracer
 
         self._handlers: Dict[str, Callable] = {}
         self._conns: Dict[int, Connection] = {}
@@ -171,7 +176,7 @@ class Conduit:
             yield from self.ctx.destroy_qp(conn.qp)
         self._conns.clear()
         if self.ud_qp is not None:
-            yield self.sim.timeout(self.cost.qp_destroy_us)
+            yield self.cost.qp_destroy_us
             self.ud_qp.destroy()
 
     # ------------------------------------------------------------------
@@ -244,6 +249,9 @@ class Conduit:
         )
         self._conns[peer] = conn
         self.counters.add("conduit.connections")
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.log(f"pe{self.rank}", "connected", peer)
         return conn
 
     def ensure_connected(self, peer: int) -> Generator:
@@ -258,12 +266,18 @@ class Conduit:
         while True:
             wc = yield self._recv_cq.wait()
             msg = wc.data
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.log(
+                    f"pe{self.rank}", "rx",
+                    (type(msg).__name__, getattr(msg, "src_rank", None)),
+                )
             if isinstance(msg, ConnectRequest):
                 yield from self._on_connect_request(msg)
             elif isinstance(msg, ConnectReply):
                 yield from self._on_connect_reply(msg)
             elif isinstance(msg, ActiveMessage):
-                yield self.sim.timeout(self.cost.am_handler_cpu_us)
+                yield self.cost.am_handler_cpu_us
                 yield from self._dispatch_am(msg)
             else:  # pragma: no cover - protocol guard
                 raise ConduitError(
@@ -318,6 +332,9 @@ class Conduit:
             data_bytes=data_bytes,
         )
         self.counters.add("conduit.am_sent")
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.log(f"pe{self.rank}", "am_send", (peer, handler))
         if peer != self.rank:
             self.touched_peers.add(peer)
         if peer == self.rank or self.cluster.same_node(peer, self.rank):
@@ -334,15 +351,13 @@ class Conduit:
 
     def _intra_deliver(self, peer: int, msg: ActiveMessage) -> Generator:
         """Shared-memory delivery to a same-node peer's progress engine."""
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
         delay = self.cost.intra_node_time(msg.nbytes)
         target_cq = self.network.peer(peer)._recv_cq
         wc = WorkCompletion(
             wr_id=0, opcode=Opcode.SEND, byte_len=msg.nbytes, data=msg
         )
-        self.sim._schedule_at(
-            self.sim.now + delay, lambda _a: target_cq.push(wc), None
-        )
+        self.sim._schedule_at(self.sim.now + delay, target_cq.push, wc)
         self.counters.add("conduit.intra_am")
 
     # ------------------------------------------------------------------
@@ -351,10 +366,13 @@ class Conduit:
     def rdma_put(self, peer: int, data: bytes, raddr: int, rkey: int) -> Generator:
         self.counters.add("conduit.puts")
         self.counters.add("conduit.put_bytes", len(data))
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.log(f"pe{self.rank}", "put", (peer, len(data)))
         if peer != self.rank:
             self.touched_peers.add(peer)
         if peer == self.rank or self.cluster.same_node(peer, self.rank):
-            yield self.sim.timeout(self.cost.intra_node_time(len(data)))
+            yield self.cost.intra_node_time(len(data))
             self.network.peer(peer).ctx.mm.rdma_write(raddr, rkey, data)
             return
         yield from self.ensure_connected(peer)
@@ -369,10 +387,13 @@ class Conduit:
     def rdma_get(self, peer: int, nbytes: int, raddr: int, rkey: int) -> Generator:
         self.counters.add("conduit.gets")
         self.counters.add("conduit.get_bytes", nbytes)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.log(f"pe{self.rank}", "get", (peer, nbytes))
         if peer != self.rank:
             self.touched_peers.add(peer)
         if peer == self.rank or self.cluster.same_node(peer, self.rank):
-            yield self.sim.timeout(self.cost.intra_node_time(nbytes))
+            yield self.cost.intra_node_time(nbytes)
             return self.network.peer(peer).ctx.mm.rdma_read(raddr, rkey, nbytes)
         yield from self.ensure_connected(peer)
         conn = self._conns[peer]
@@ -391,9 +412,7 @@ class Conduit:
         if peer != self.rank:
             self.touched_peers.add(peer)
         if peer == self.rank or self.cluster.same_node(peer, self.rank):
-            yield self.sim.timeout(
-                self.cost.intra_node_time(8) + self.cost.atomic_extra_us
-            )
+            yield self.cost.intra_node_time(8) + self.cost.atomic_extra_us
             return self.network.peer(peer).ctx.mm.atomic(
                 raddr, rkey, op, compare, operand
             )
@@ -430,7 +449,7 @@ class Conduit:
                 self._nbi_end()
 
             self.sim._schedule_at(self.sim.now + delay, _land, None)
-            yield self.sim.timeout(self.cost.post_wr_us)
+            yield self.cost.post_wr_us
             return
         yield from self.ensure_connected(peer)
         self._nbi_begin()
@@ -439,7 +458,7 @@ class Conduit:
             self._nbi_tracker(peer, "write", bytes(data), 0, raddr, rkey, None),
             name=f"nbi-put-{self.rank}->{peer}",
         )
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
 
     def rdma_get_nbi(self, peer: int, nbytes: int, raddr: int, rkey: int,
                      on_data: Callable[[bytes], None]) -> Generator:
@@ -458,7 +477,7 @@ class Conduit:
                 self._nbi_end()
 
             self.sim._schedule_at(self.sim.now + delay, _land, None)
-            yield self.sim.timeout(self.cost.post_wr_us)
+            yield self.cost.post_wr_us
             return
         yield from self.ensure_connected(peer)
         self._nbi_begin()
@@ -467,7 +486,7 @@ class Conduit:
             self._nbi_tracker(peer, "read", None, nbytes, raddr, rkey, on_data),
             name=f"nbi-get-{self.rank}<-{peer}",
         )
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
 
     def _nbi_tracker(self, peer: int, op: str, data, nbytes: int,
                      raddr: int, rkey: int, on_data) -> Generator:
@@ -490,7 +509,7 @@ class Conduit:
             conn.lock.release()
         try:
             wc = yield waiter
-            yield self.sim.timeout(self.cost.poll_cq_us)
+            yield self.cost.poll_cq_us
             if op == "read" and on_data is not None:
                 on_data(wc.data)
         finally:

@@ -1,9 +1,12 @@
-"""Conduit wire messages (carried as packet payloads)."""
+"""Conduit wire messages (carried as packet payloads).
+
+Plain ``__slots__`` classes, not dataclasses: an :class:`ActiveMessage`
+is allocated per AM on the hot path, so these stay ``__dict__``-free.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from ..ib import EndpointAddress
 
@@ -16,7 +19,6 @@ CONNECT_HEADER_BYTES = 24
 AM_HEADER_BYTES = 16
 
 
-@dataclass(frozen=True)
 class ConnectRequest:
     """UD connect request: client -> server (Figure 4).
 
@@ -24,39 +26,81 @@ class ConnectRequest:
     asked the conduit to piggyback — the conduit never interprets it.
     """
 
-    src_rank: int
-    rc_addr: EndpointAddress
-    payload: bytes = b""
-    #: Retransmission attempt (for tracing/diagnostics only).
-    attempt: int = 0
+    __slots__ = ("src_rank", "rc_addr", "payload", "attempt")
+
+    def __init__(
+        self,
+        src_rank: int,
+        rc_addr: EndpointAddress,
+        payload: bytes = b"",
+        attempt: int = 0,
+    ) -> None:
+        self.src_rank = src_rank
+        self.rc_addr = rc_addr
+        self.payload = payload
+        #: Retransmission attempt (for tracing/diagnostics only).
+        self.attempt = attempt
 
     @property
     def nbytes(self) -> int:
         return CONNECT_HEADER_BYTES + len(self.payload)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConnectRequest(src_rank={self.src_rank}, "
+            f"rc_addr={self.rc_addr!r}, attempt={self.attempt})"
+        )
 
-@dataclass(frozen=True)
+
 class ConnectReply:
     """UD connect reply: server -> client, same piggyback rules."""
 
-    src_rank: int
-    rc_addr: EndpointAddress
-    payload: bytes = b""
+    __slots__ = ("src_rank", "rc_addr", "payload")
+
+    def __init__(
+        self,
+        src_rank: int,
+        rc_addr: EndpointAddress,
+        payload: bytes = b"",
+    ) -> None:
+        self.src_rank = src_rank
+        self.rc_addr = rc_addr
+        self.payload = payload
 
     @property
     def nbytes(self) -> int:
         return CONNECT_HEADER_BYTES + len(self.payload)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConnectReply(src_rank={self.src_rank}, "
+            f"rc_addr={self.rc_addr!r})"
+        )
 
-@dataclass(frozen=True)
+
 class ActiveMessage:
     """A GASNet-core-style active message riding an RC connection."""
 
-    src_rank: int
-    handler: str
-    data: Any = None
-    data_bytes: int = 0
+    __slots__ = ("src_rank", "handler", "data", "data_bytes")
+
+    def __init__(
+        self,
+        src_rank: int,
+        handler: str,
+        data: Any = None,
+        data_bytes: int = 0,
+    ) -> None:
+        self.src_rank = src_rank
+        self.handler = handler
+        self.data = data
+        self.data_bytes = data_bytes
 
     @property
     def nbytes(self) -> int:
         return AM_HEADER_BYTES + self.data_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ActiveMessage(src_rank={self.src_rank}, "
+            f"handler={self.handler!r}, data_bytes={self.data_bytes})"
+        )

@@ -111,6 +111,9 @@ class OnDemandConduit(Conduit):
         pending.qp = qp
         pending.send_cq = send_cq
         self.counters.add("conduit.connect_requests")
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.log(f"pe{self.rank}", "connect_req", peer)
 
         req_payload = self._exchange_payload
         for attempt in range(self.cost.ud_max_retries + 1):
@@ -153,7 +156,7 @@ class OnDemandConduit(Conduit):
             # Duplicate reply (retransmission already handled) -- drop.
             self.counters.add("conduit.dup_replies")
             return
-        yield self.sim.timeout(self.cost.conn_handshake_cpu_us)
+        yield self.cost.conn_handshake_cpu_us
         yield from self.ctx.modify_rtr(pending.qp, rep.rc_addr)
         yield from self.ctx.modify_rts(pending.qp)
         self._register_connection(peer, pending.qp, pending.send_cq)
@@ -194,10 +197,13 @@ class OnDemandConduit(Conduit):
         self, req: ConnectRequest, pending: Optional["_PendingConnect"]
     ) -> Generator:
         peer = req.src_rank
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.log(f"pe{self.rank}", "serve", peer)
         # Marker: a serve is in progress (duplicate requests must not
         # spawn a second QP; the eventual reply is retransmittable).
         self._serving[peer] = None
-        yield self.sim.timeout(self.cost.conn_handshake_cpu_us)
+        yield self.cost.conn_handshake_cpu_us
         if pending is not None and pending.qp is not None:
             # Collision, we lost the tie-break: reuse our INIT QP.
             self.counters.add("conduit.collisions_served")

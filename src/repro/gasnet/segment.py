@@ -96,7 +96,14 @@ class SegmentTable:
         )
 
     def knows(self, peer: int) -> bool:
-        return peer in self._by_peer or self._resolver is not None
+        if peer in self._by_peer:
+            return True
+        if self._resolver is not None:
+            segs = self._resolver(peer)
+            if segs is not None:
+                self._by_peer[peer] = segs
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self._by_peer)

@@ -50,7 +50,7 @@ class StaticConduit(Conduit):
         npes = self.cluster.npes
         yield from self.ctx.bulk_charge_rc_qps(npes, connect=True)
         # Per-peer handshake/bookkeeping CPU of the bulk wire-up loop.
-        yield self.sim.timeout(npes * self.cost.static_wireup_per_peer_us)
+        yield npes * self.cost.static_wireup_per_peer_us
         self._prewired = True
         self.counters.add("conduit.static_wireups")
 

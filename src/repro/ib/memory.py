@@ -28,14 +28,24 @@ _rkey_counter = itertools.count(0x1000)
 
 @dataclass
 class MemoryRegion:
-    """A registered, RDMA-accessible buffer."""
+    """A registered, RDMA-accessible buffer.
+
+    The backing array is owned by the :class:`MemoryManager` and
+    materialised lazily — registering a large heap that is never
+    touched (common in startup benchmarks) costs no real memory.
+    """
 
     addr: int  #: Base virtual address in the owner's address space.
     size: int  #: Length in bytes.
     rkey: int  #: Remote access key (globally unique).
     lkey: int  #: Local key (== rkey in this model).
-    buf: np.ndarray  #: Backing storage (uint8, length ``size``).
     owner_rank: int
+    mm: "MemoryManager"  #: Owner of the backing storage.
+
+    @property
+    def buf(self) -> np.ndarray:
+        """Backing storage (uint8, length ``size``), created on first use."""
+        return self.mm.buffer_of(self.addr)
 
     def contains(self, addr: int, nbytes: int) -> bool:
         return self.addr <= addr and addr + nbytes <= self.addr + self.size
@@ -58,43 +68,63 @@ class MemoryManager:
     def __init__(self, rank: int) -> None:
         self.rank = rank
         self._next_addr = self._BASE_ADDR
-        self._buffers: Dict[int, np.ndarray] = {}  # addr -> backing array
+        #: addr -> backing array, or the pending size (int) for
+        #: allocations whose bytes have never been touched.
+        self._buffers: Dict[int, object] = {}
         self._regions: Dict[int, MemoryRegion] = {}  # rkey -> region
         self._by_addr: Dict[int, MemoryRegion] = {}  # base addr -> region
         self.registered_bytes = 0
 
     # -- allocation -----------------------------------------------------
     def alloc(self, size: int) -> int:
-        """Allocate ``size`` bytes; returns the base address."""
+        """Allocate ``size`` bytes; returns the base address.
+
+        The zeroed backing array is materialised on first access, so
+        PEs that register memory but never move data through it (e.g.
+        a startup-only benchmark) pay nothing."""
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
         addr = self._next_addr
         # 4 KiB alignment, like a page-aligned allocator.
         self._next_addr += (size + 4095) // 4096 * 4096
-        self._buffers[addr] = np.zeros(size, dtype=np.uint8)
+        self._buffers[addr] = size
         return addr
 
     def buffer_of(self, addr: int) -> np.ndarray:
         """Backing array for an allocation base address."""
         try:
-            return self._buffers[addr]
+            buf = self._buffers[addr]
         except KeyError:
             raise MemoryRegistrationError(
                 f"PE {self.rank}: {addr:#x} is not an allocation base"
             ) from None
+        if buf.__class__ is int:
+            buf = np.zeros(buf, dtype=np.uint8)
+            self._buffers[addr] = buf
+        return buf
+
+    def _size_of(self, addr: int) -> int:
+        """Allocation size without materialising the backing array."""
+        try:
+            buf = self._buffers[addr]
+        except KeyError:
+            raise MemoryRegistrationError(
+                f"PE {self.rank}: {addr:#x} is not an allocation base"
+            ) from None
+        return buf if buf.__class__ is int else len(buf)
 
     # -- registration ----------------------------------------------------
     def register(self, addr: int) -> MemoryRegion:
         """Register the allocation at ``addr``; returns its region."""
-        buf = self.buffer_of(addr)
+        size = self._size_of(addr)
         if addr in self._by_addr:
             raise MemoryRegistrationError(
                 f"PE {self.rank}: {addr:#x} already registered"
             )
         key = next(_rkey_counter)
         region = MemoryRegion(
-            addr=addr, size=len(buf), rkey=key, lkey=key, buf=buf,
-            owner_rank=self.rank,
+            addr=addr, size=size, rkey=key, lkey=key,
+            owner_rank=self.rank, mm=self,
         )
         self._regions[key] = region
         self._by_addr[addr] = region
@@ -122,8 +152,9 @@ class MemoryManager:
     def _locate(self, addr: int, nbytes: int) -> Tuple[np.ndarray, int]:
         """Find (buffer, offset) for any allocated range, registered or not."""
         for base, buf in self._buffers.items():
-            if base <= addr and addr + nbytes <= base + len(buf):
-                return buf, addr - base
+            size = buf if buf.__class__ is int else len(buf)
+            if base <= addr and addr + nbytes <= base + size:
+                return self.buffer_of(base), addr - base
         raise RemoteAccessError(
             f"PE {self.rank}: address range {addr:#x}+{nbytes} not allocated"
         )

@@ -159,13 +159,13 @@ class RCQueuePair(_QueuePairBase):
             **fields,
         )
         if penalty > 0.0:
-            self.sim._schedule_at(
-                self.sim.now + penalty,
-                lambda pkt: self.hca.fabric.transmit(self.hca, pkt),
-                packet,
-            )
+            self.sim._schedule_at(self.sim.now + penalty, self._inject, packet)
         else:
             self.hca.fabric.transmit(self.hca, packet)
+
+    def _inject(self, packet: Packet) -> None:
+        """Delayed transmit continuation (QP-cache-miss penalty path)."""
+        self.hca.fabric.transmit(self.hca, packet)
 
     def _track(self, wr_id: int, opcode: Opcode) -> int:
         token = next(_token_counter)

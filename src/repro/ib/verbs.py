@@ -75,7 +75,7 @@ class VerbsContext:
         self, send_cq: CompletionQueue, recv_cq: CompletionQueue
     ) -> Generator:
         """Create and activate a UD QP (yields creation time)."""
-        yield self.sim.timeout(self.cost.ud_qp_create_us)
+        yield self.cost.ud_qp_create_us
         qp = UDQueuePair(self.hca, send_cq, recv_cq, self.rank)
         qp.activate()
         self.ud_qps_created += 1
@@ -87,7 +87,7 @@ class VerbsContext:
         self, qp: UDQueuePair, dst: EndpointAddress, payload, nbytes: int,
         wr_id: int = 0,
     ) -> Generator:
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
         qp.post_send(dst, payload, nbytes, wr_id=wr_id)
 
     # ------------------------------------------------------------------
@@ -103,7 +103,7 @@ class VerbsContext:
         if prepaid and self._prepaid_rc_qps > 0:
             self._prepaid_rc_qps -= 1
         else:
-            yield self.sim.timeout(self.cost.rc_qp_create_us)
+            yield self.cost.rc_qp_create_us
             self.rc_qps_created += 1
             self.qp_memory_bytes += self.cost.rc_qp_memory_bytes
             self.counters.add("verbs.rc_qp_created")
@@ -115,13 +115,13 @@ class VerbsContext:
     ) -> Generator:
         """Drive the QP through INIT->RTR->RTS toward ``remote``."""
         if not prepaid:
-            yield self.sim.timeout(self.cost.qp_modify_init_us)
+            yield self.cost.qp_modify_init_us
         qp.modify_to_init()
         if not prepaid:
-            yield self.sim.timeout(self.cost.qp_modify_rtr_us)
+            yield self.cost.qp_modify_rtr_us
         qp.modify_to_rtr(remote)
         if not prepaid:
-            yield self.sim.timeout(self.cost.qp_modify_rts_us)
+            yield self.cost.qp_modify_rts_us
         qp.modify_to_rts()
         if not prepaid:
             self.connections_established += 1
@@ -132,17 +132,17 @@ class VerbsContext:
 
     def modify_init(self, qp: RCQueuePair) -> Generator:
         """RESET -> INIT (charged)."""
-        yield self.sim.timeout(self.cost.qp_modify_init_us)
+        yield self.cost.qp_modify_init_us
         qp.modify_to_init()
 
     def modify_rtr(self, qp: RCQueuePair, remote: EndpointAddress) -> Generator:
         """INIT -> RTR toward ``remote`` (charged)."""
-        yield self.sim.timeout(self.cost.qp_modify_rtr_us)
+        yield self.cost.qp_modify_rtr_us
         qp.modify_to_rtr(remote)
 
     def modify_rts(self, qp: RCQueuePair) -> Generator:
         """RTR -> RTS (charged); books the established connection."""
-        yield self.sim.timeout(self.cost.qp_modify_rts_us)
+        yield self.cost.qp_modify_rts_us
         qp.modify_to_rts()
         self.connections_established += 1
         self.qp_memory_bytes += self.cost.conn_state_bytes
@@ -150,12 +150,12 @@ class VerbsContext:
 
     def destroy_qp(self, qp) -> Generator:
         """Tear a QP down (charged)."""
-        yield self.sim.timeout(self.cost.qp_destroy_us)
+        yield self.cost.qp_destroy_us
         qp.destroy()
 
     def bulk_charge_qp_destroy(self, n: int) -> Generator:
         """Charge teardown time for ``n`` QPs without materialising them."""
-        yield self.sim.timeout(n * self.cost.qp_destroy_us)
+        yield n * self.cost.qp_destroy_us
 
     def bulk_charge_rc_qps(self, n: int, connect: bool = True) -> Generator:
         """Charge time+memory for ``n`` full RC QP setups without objects.
@@ -173,7 +173,7 @@ class VerbsContext:
                 + self.cost.qp_modify_rtr_us
                 + self.cost.qp_modify_rts_us
             )
-        yield self.sim.timeout(n * per_qp)
+        yield n * per_qp
         self.rc_qps_created += n
         self.qp_memory_bytes += n * self.cost.rc_qp_memory_bytes
         if connect:
@@ -195,7 +195,7 @@ class VerbsContext:
         """
         buf = self.mm.buffer_of(addr)
         size_for_cost = model_bytes if model_bytes is not None else len(buf)
-        yield self.sim.timeout(self.cost.mr_register_us(size_for_cost))
+        yield self.cost.mr_register_us(size_for_cost)
         region = self.mm.register(addr)
         self.hca.expose_memory(self.mm, region)
         self.registered_bytes += size_for_cost
@@ -203,7 +203,7 @@ class VerbsContext:
         return region
 
     def dereg_mr(self, region: MemoryRegion) -> Generator:
-        yield self.sim.timeout(self.cost.mr_deregister_us)
+        yield self.cost.mr_deregister_us
         self.hca.hide_memory(region)
         self.mm.deregister(region)
         self.registered_bytes -= region.size
@@ -212,19 +212,19 @@ class VerbsContext:
     # Posting helpers (charge post overhead, then fire)
     # ------------------------------------------------------------------
     def post_send(self, qp: RCQueuePair, payload, nbytes: int, wr_id: int = 0):
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
         qp.post_send(payload, nbytes, wr_id=wr_id)
 
     def post_rdma_write(
         self, qp: RCQueuePair, data: bytes, raddr: int, rkey: int, wr_id: int = 0
     ):
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
         qp.post_rdma_write(data, raddr, rkey, wr_id=wr_id)
 
     def post_rdma_read(
         self, qp: RCQueuePair, nbytes: int, raddr: int, rkey: int, wr_id: int = 0
     ):
-        yield self.sim.timeout(self.cost.post_wr_us)
+        yield self.cost.post_wr_us
         qp.post_rdma_read(nbytes, raddr, rkey, wr_id=wr_id)
 
     def post_atomic(
@@ -237,7 +237,7 @@ class VerbsContext:
         swap_or_add: int = 0,
         wr_id: int = 0,
     ):
-        yield self.sim.timeout(self.cost.post_wr_us + self.cost.atomic_extra_us)
+        yield self.cost.post_wr_us + self.cost.atomic_extra_us
         qp.post_atomic(
             op, raddr, rkey, compare=compare, swap_or_add=swap_or_add, wr_id=wr_id
         )
@@ -245,5 +245,5 @@ class VerbsContext:
     def poll(self, cq: CompletionQueue):
         """Wait for (and charge the poll cost of) one completion."""
         wc = yield cq.wait()
-        yield self.sim.timeout(self.cost.poll_cq_us)
+        yield self.cost.poll_cq_us
         return wc

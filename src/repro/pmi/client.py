@@ -61,7 +61,7 @@ class PMIClient:
         arrival = sim.now + cost.pmi_local_rtt_us / 2
         done = self.daemon.occupy(arrival, cpu)
         reply = done + cost.pmi_local_rtt_us / 2
-        yield sim.timeout(reply - sim.now)
+        yield reply - sim.now
         return done
 
     # ------------------------------------------------------------------

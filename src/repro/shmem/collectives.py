@@ -108,7 +108,7 @@ class CollectivesMixin:
             raise ShmemError(f"PE {self.rank}: node barrier not installed")
         local = self.cluster.local_size(self.rank)
         rounds = max(1, math.ceil(math.log2(max(2, local))))
-        yield self.sim.timeout(self.cost.shm_barrier_us * rounds)
+        yield self.cost.shm_barrier_us * rounds
         yield self.node_barrier.wait()
         self.counters.add("shmem.intranode_barriers")
 

@@ -46,9 +46,16 @@ class SymmetricHeap:
         self.model_bytes = max(model_bytes, backing)
         self.size = backing  # real, allocatable bytes
         self.base = mm.alloc(self.size)
-        self._buf = mm.buffer_of(self.base)
+        self._bufcache: Optional[np.ndarray] = None  # materialised lazily
         self._brk = 0  # offset of first free byte
         self._allocs: Dict[int, int] = {}  # addr -> size (for shfree checks)
+
+    @property
+    def _buf(self) -> np.ndarray:
+        buf = self._bufcache
+        if buf is None:
+            buf = self._bufcache = self.mm.buffer_of(self.base)
+        return buf
 
     # ------------------------------------------------------------------
     def shmalloc(self, size: int) -> int:

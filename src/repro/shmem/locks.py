@@ -37,7 +37,7 @@ class LocksMixin:
             )
             if old == _FREE:
                 return
-            yield self.sim.timeout(backoff)
+            yield backoff
             backoff = min(backoff * 2.0, 50.0)
 
     def clear_lock(self, lock_addr: int) -> Generator:

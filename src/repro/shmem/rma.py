@@ -101,7 +101,7 @@ class RMAMixin:
         (Blocking put/get are already remotely complete on return.)
         """
         self._require_init()
-        yield self.sim.timeout(self.cost.poll_cq_us)
+        yield self.cost.poll_cq_us
         yield from self.conduit.quiet()
 
     def fence(self) -> Generator:
@@ -132,5 +132,5 @@ class RMAMixin:
             raise ShmemError(f"unknown wait_until op {op!r}") from None
         interval = 0.5
         while not cmp(view[0], value):
-            yield self.sim.timeout(interval)
+            yield interval
             interval = min(interval * 2.0, 25.0)

@@ -63,7 +63,7 @@ def run_startup(pe: "ShmemPE") -> Generator:
 # ----------------------------------------------------------------------
 def _misc_and_endpoint(pe: "ShmemPE") -> Generator:
     pe.timer.begin(PHASE_OTHER)
-    yield pe.sim.timeout(pe.cost.init_misc_us)
+    yield pe.cost.init_misc_us
     yield from pe.conduit.init_endpoint()
 
 
@@ -109,23 +109,27 @@ def _register_heap(pe: "ShmemPE") -> Generator:
 def _shared_memory_setup(pe: "ShmemPE") -> Generator:
     pe.timer.begin(PHASE_SHM)
     local = pe.cluster.local_size(pe.rank)
-    yield pe.sim.timeout(
-        pe.cost.shm_setup_base_us + pe.cost.shm_setup_per_rank_us * local
-    )
+    yield pe.cost.shm_setup_base_us + pe.cost.shm_setup_per_rank_us * local
 
 
 def _exchange_intranode_segments(pe: "ShmemPE") -> None:
     """Same-node peers learn each other's segments through the shared
     memory region mapped during setup (no fabric traffic).  Must run
-    after an intra-node synchronisation point."""
-    for peer in pe.cluster.ranks_on_node(pe.cluster.node_of(pe.rank)):
-        if peer == pe.rank:
-            continue
-        region = pe._peer(peer).heap_region
-        pe.segments.put(
-            peer,
-            [SegmentInfo(addr=region.addr, size=region.size, rkey=region.rkey)],
-        )
+    after an intra-node synchronisation point.
+
+    Installed as a lazy resolver: eagerly building ``ppn - 1`` entries
+    on every PE is an O(ppn * N) simulator cost with no timing meaning
+    (the shared-memory mapping is already charged in bulk)."""
+    local = frozenset(pe.cluster.ranks_on_node(pe.cluster.node_of(pe.rank)))
+
+    def _resolve_local(peer: int, _pe=pe, _local=local):
+        if peer not in _local:
+            return None
+        region = _pe._peer(peer).heap_region
+        return [SegmentInfo(addr=region.addr, size=region.size,
+                            rkey=region.rkey)]
+
+    pe.segments.set_resolver(_resolve_local)
 
 
 def _init_barriers(pe: "ShmemPE", count: int = 2) -> Generator:
@@ -167,7 +171,7 @@ def _static_startup(pe: "ShmemPE") -> Generator:
     # tables are filled from the peers' registered regions (safe after
     # the fence above, as in the real flow).
     per_msg = pe.cost.post_wr_us + pe.cost.am_handler_cpu_us
-    yield pe.sim.timeout(pe.npes * per_msg)
+    yield pe.npes * per_msg
 
     def _resolve(peer: int, _pe=pe):
         region = _pe._peer(peer).heap_region

@@ -7,6 +7,7 @@ and :mod:`repro.sim.sync` for synchronisation primitives.
 
 from .engine import AllOf, AnyOf, SimEvent, SimulationError, Simulator, Timeout, Waitable
 from .process import Process, ProcessFailure, spawn
+from .profile import KernelProfile
 from .rng import RngRegistry
 from .sync import Barrier, Latch, Mailbox, Semaphore
 from .trace import Counters, PhaseTimer, TraceRecord, Tracer
@@ -22,6 +23,7 @@ __all__ = [
     "Process",
     "ProcessFailure",
     "spawn",
+    "KernelProfile",
     "Mailbox",
     "Semaphore",
     "Barrier",

@@ -6,9 +6,22 @@ fire in scheduling order (a monotonically increasing sequence number
 breaks ties), so a simulation with a fixed seed is exactly
 reproducible.
 
+Fast path
+---------
+Zero-delay work (waitable callback dispatch, ``call_soon``, process
+continuations) dominates event volume, so it bypasses the global heap:
+a FIFO **microtask queue** holds ``(seq, fn, arg)`` entries that are
+drained in ``(time, seq)`` order merged against the heap.  Because
+every microtask carries the same sequence counter the heap uses, the
+execution order is *identical* to scheduling everything through the
+heap — the golden-trace tests in ``tests/sim`` pin this down — while a
+``deque`` append/popleft replaces a ``heappush``/``heappop`` pair and
+no closure or tuple payload is allocated per hop.
+
 The public surface is:
 
-* :class:`Simulator` -- owns the clock and the pending-event heap.
+* :class:`Simulator` -- owns the clock, the event heap and the
+  microtask queue.
 * :class:`Waitable` -- anything a process generator may ``yield``.
 * :class:`SimEvent` -- a one-shot event that can be succeeded or failed.
 * :class:`Timeout` -- fires after a fixed simulated delay.
@@ -18,6 +31,7 @@ The public surface is:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Iterable, List, Optional
 
 __all__ = [
@@ -35,20 +49,46 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (double-trigger etc.)."""
 
 
+def _invoke0(fn: Callable[[], None]) -> None:
+    """Microtask shim running an argument-less callable."""
+    fn()
+
+
+class _CallbackBatch:
+    """Dispatches a multi-entry callback list without a per-dispatch
+    closure (the single-callback case never allocates this)."""
+
+    __slots__ = ("callbacks",)
+
+    def __init__(self, callbacks: List[Callable]) -> None:
+        self.callbacks = callbacks
+
+    def __call__(self, waitable: "Waitable") -> None:
+        for fn in self.callbacks:
+            fn(waitable)
+
+
 class Waitable:
     """Base class for objects a process can ``yield`` on.
 
     A waitable is *triggered* at most once.  When triggered it carries a
     ``value`` (delivered to waiters via ``send``) or an exception
-    (delivered via ``throw``).  Callbacks appended to :attr:`callbacks`
-    run, in order, at the simulated instant the waitable triggers.
+    (delivered via ``throw``).  Callbacks registered via
+    :meth:`add_callback` run, in order, at the simulated instant the
+    waitable triggers.
+
+    ``callbacks`` is stored compactly: ``None`` (none registered — the
+    common case for timeouts and fire-and-forget events), a bare
+    callable (exactly one waiter — the dominant case), or a list (two
+    or more).  This keeps the per-waitable allocation at zero until a
+    second waiter actually appears.
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Waitable"], None]]] = []
+        self.callbacks: Any = None
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._triggered = False
@@ -92,11 +132,17 @@ class Waitable:
         "Immediately" still means *via the event queue* at the current
         simulated time, preserving run-to-completion semantics.
         """
-        if self.callbacks is None:
+        if self._triggered:
             # Already dispatched: schedule a fresh zero-delay callback.
-            self.sim.call_soon(lambda: fn(self))
+            self.sim._call_soon(fn, self)
+            return
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = fn
+        elif cbs.__class__ is list:
+            cbs.append(fn)
         else:
-            self.callbacks.append(fn)
+            self.callbacks = [cbs, fn]
 
 
 class SimEvent(Waitable):
@@ -116,7 +162,12 @@ class SimEvent(Waitable):
 
 
 class Timeout(Waitable):
-    """Fires ``delay`` microseconds after construction."""
+    """Fires ``delay`` microseconds after construction.
+
+    Processes that only need a value-less sleep can ``yield`` a plain
+    ``float``/``int`` delay instead and skip this object entirely (see
+    :mod:`repro.sim.process`).
+    """
 
     __slots__ = ("delay",)
 
@@ -148,6 +199,27 @@ class _Composite(Waitable):
     def _child_fired(self, child: Waitable) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _detach_pending(self) -> None:
+        """Unregister from children that have not fired yet.
+
+        Without this a triggered composite would linger in its losing
+        children's callback lists for their whole lifetime — the retry
+        loops in the on-demand conduit create an ``AnyOf`` per attempt
+        over the *same* long-lived event, so the leak is unbounded.
+        """
+        cb = self._child_fired
+        for child in self.children:
+            if child._triggered:
+                continue
+            cbs = child.callbacks
+            if cbs.__class__ is list:
+                try:
+                    cbs.remove(cb)
+                except ValueError:
+                    pass
+            elif cbs == cb:  # bound methods compare by (self, func)
+                child.callbacks = None
+
 
 class AnyOf(_Composite):
     """Triggers when the *first* child triggers; value is ``(child, value)``."""
@@ -161,6 +233,7 @@ class AnyOf(_Composite):
             self._trigger(exc=child.exception)
         else:
             self._trigger(value=(child, child._value))
+        self._detach_pending()
 
 
 class AllOf(_Composite):
@@ -173,6 +246,7 @@ class AllOf(_Composite):
             return
         if child.exception is not None:
             self._trigger(exc=child.exception)
+            self._detach_pending()
             return
         self._pending -= 1
         if self._pending == 0:
@@ -180,13 +254,16 @@ class AllOf(_Composite):
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of ``(time, seq, fn, arg)``."""
+    """The event loop: a clock, a heap of ``(time, seq, fn, arg)`` and a
+    FIFO microtask queue of ``(seq, fn, arg)`` zero-delay entries."""
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[tuple] = []
+        self._micro: deque = deque()
         self._seq = 0
-        self._processes: List[Any] = []  # populated by sim.process.Process
+        #: Opt-in profiling hook (see :mod:`repro.sim.profile`).
+        self._prof = None
 
     # -- low-level scheduling ------------------------------------------
     def _schedule_at(self, when: float, fn: Callable, arg: Any = None) -> None:
@@ -196,21 +273,35 @@ class Simulator:
             )
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, fn, arg))
+        if self._prof is not None:
+            self._prof._record(fn, False)
+
+    def _call_soon(self, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at the current time via the microtask
+        queue (no heap traffic, no allocation beyond the entry tuple)."""
+        self._seq += 1
+        self._micro.append((self._seq, fn, arg))
+        if self._prof is not None:
+            self._prof._record(fn, True)
 
     def call_soon(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` at the current simulated time, after pending work."""
-        self._schedule_at(self.now, lambda _arg: fn(), None)
+        self._call_soon(_invoke0, fn)
 
     def _schedule_callbacks(self, waitable: Waitable) -> None:
-        callbacks, waitable.callbacks = waitable.callbacks, None
-        if callbacks is None:
-            raise SimulationError("waitable dispatched twice")
-
-        def _dispatch(_arg: Any) -> None:
-            for fn in callbacks:
-                fn(waitable)
-
-        self._schedule_at(self.now, _dispatch, None)
+        # Double dispatch is impossible: ``_trigger`` (the only caller)
+        # raises on a second trigger before reaching here.
+        cbs = waitable.callbacks
+        if cbs is None:
+            # Nobody registered yet — nothing observable would run;
+            # late ``add_callback`` calls go through the microtask queue.
+            return
+        waitable.callbacks = None
+        if cbs.__class__ is list:
+            self._call_soon(_CallbackBatch(cbs), waitable)
+        else:
+            # Inline the dominant single-waiter case.
+            self._call_soon(cbs, waitable)
 
     # -- waitable constructors -----------------------------------------
     def event(self) -> SimEvent:
@@ -227,29 +318,67 @@ class Simulator:
 
     # -- execution -------------------------------------------------------
     def step(self) -> None:
-        """Advance the clock to — and execute — the next pending event."""
-        when, _seq, fn, arg = heapq.heappop(self._heap)
+        """Advance the clock to — and execute — the next pending event.
+
+        Microtasks and heap events interleave in exact ``(time, seq)``
+        order, so draining via ``step`` is indistinguishable from a
+        single global heap.
+        """
+        micro = self._micro
+        if micro:
+            heap = self._heap
+            if heap:
+                top = heap[0]
+                if top[0] == self.now and top[1] < micro[0][0]:
+                    heapq.heappop(heap)
+                    top[2](top[3])
+                    return
+            entry = micro.popleft()
+            entry[1](entry[2])
+            return
+        heap = self._heap
+        if not heap:
+            raise SimulationError("no pending events")
+        when, _seq, fn, arg = heapq.heappop(heap)
         self.now = when
         fn(arg)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or ``until`` is reached.
+        """Run until the queues drain or ``until`` is reached.
 
         Returns the final simulated time.  Unhandled process failures
         propagate out of :meth:`run` (see ``repro.sim.process``).
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            self.step()
+        micro = self._micro
+        heap = self._heap
+        pop = heapq.heappop
+        while True:
+            if micro:
+                # Merge against same-time heap events by sequence number.
+                if heap:
+                    top = heap[0]
+                    if top[0] == self.now and top[1] < micro[0][0]:
+                        pop(heap)
+                        top[2](top[3])
+                        continue
+                entry = micro.popleft()
+                entry[1](entry[2])
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                when, _seq, fn, arg = pop(heap)
+                self.now = when
+                fn(arg)
+            else:
+                break
         if until is not None:
             self.now = max(self.now, until)
         return self.now
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._micro)

@@ -2,14 +2,17 @@
 
 A simulated process is a Python generator that ``yield``\\ s
 :class:`~repro.sim.engine.Waitable` objects (timeouts, events, other
-processes, composites).  The kernel resumes the generator with the
+processes, composites) — or, on the fast path, a plain ``float``
+delay, which behaves exactly like ``yield sim.timeout(delay)`` (the
+resumed value is ``None``) without constructing a Timeout waitable or
+any callback plumbing.  The kernel resumes the generator with the
 waitable's value (``gen.send(value)``), or throws the waitable's
 exception into it.
 
 Example::
 
     def worker(sim):
-        yield sim.timeout(5.0)          # sleep 5 us
+        yield 5.0                       # fast-path sleep 5 us
         ev = sim.event()
         ...
         value = yield ev                # wait for someone to succeed(ev)
@@ -54,48 +57,85 @@ class Process(Waitable):
         self.gen = gen
         self.name = name
         self._joined = False
-        sim._processes.append(self)
-        sim._schedule_at(sim.now, self._resume, (None, None))
+        sim._call_soon(self._step_value, None)
 
     def add_callback(self, fn) -> None:  # noqa: D102 - see Waitable
         self._joined = True
         super().add_callback(fn)
 
     # -- stepping ------------------------------------------------------
-    def _resume(self, payload) -> None:
-        send_value, throw_exc = payload
+    def _step_value(self, send_value: Any) -> None:
+        """Resume the generator with a value (the hot continuation)."""
         try:
-            if throw_exc is not None:
-                target = self.gen.throw(throw_exc)
-            else:
-                target = self.gen.send(send_value)
+            target = self.gen.send(send_value)
         except StopIteration as stop:
             self._trigger(value=stop.value)
             return
         except BaseException as exc:  # process died
-            if self._joined:
-                self._trigger(exc=exc)
-            else:
-                # Nobody is listening: abort the whole simulation loudly.
-                raise ProcessFailure(self, exc) from exc
+            self._died(exc)
             return
-        if not isinstance(target, Waitable):
-            exc = SimulationError(
-                f"process {self.name!r} yielded non-waitable {target!r}"
-            )
-            self.gen.close()
-            if self._joined:
-                self._trigger(exc=exc)
-            else:
-                raise ProcessFailure(self, exc) from exc
+        if target.__class__ is float and target > 0:
+            # Inlined copy of the _wait_on sleep fast path: a positive
+            # plain-float yield is the single hottest resume outcome.
+            sim = self.sim
+            sim._schedule_at(sim.now + target, self._step_value, None)
             return
-        target.add_callback(self._on_target)
+        self._wait_on(target)
+
+    def _step_throw(self, throw_exc: BaseException) -> None:
+        """Resume the generator by throwing a waitable's failure into it."""
+        try:
+            target = self.gen.throw(throw_exc)
+        except StopIteration as stop:
+            self._trigger(value=stop.value)
+            return
+        except BaseException as exc:
+            self._died(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target.__class__ is float:
+            # Plain-delay sleep: no Timeout object, no callback hop —
+            # the continuation is scheduled directly.  Deliberately
+            # restricted to ``float`` (ints stay an error) so a stray
+            # non-waitable yield is still caught.
+            if target > 0:
+                self.sim._schedule_at(self.sim.now + target, self._step_value, None)
+            elif target == 0:
+                self.sim._call_soon(self._step_value, None)
+            else:
+                self._step_throw(ValueError(f"negative timeout delay: {target}"))
+            return
+        if isinstance(target, Waitable):
+            target.add_callback(self._on_target)
+            return
+        exc = SimulationError(
+            f"process {self.name!r} yielded non-waitable {target!r}"
+        )
+        self.gen.close()
+        if self._joined:
+            self._trigger(exc=exc)
+        else:
+            raise ProcessFailure(self, exc) from exc
+
+    def _died(self, exc: BaseException) -> None:
+        if self._joined:
+            self._trigger(exc=exc)
+        else:
+            # Nobody is listening: abort the whole simulation loudly.
+            raise ProcessFailure(self, exc) from exc
 
     def _on_target(self, target: Waitable) -> None:
-        if target.exception is not None:
-            self.sim._schedule_at(self.sim.now, self._resume, (None, target.exception))
+        # Resume synchronously: the trigger already deferred this
+        # callback through the event queue once, so a second hop would
+        # only add queue traffic (the golden-trace tests pin down that
+        # observable ordering is unchanged).
+        exc = target._exc
+        if exc is None:
+            self._step_value(target._value)
         else:
-            self.sim._schedule_at(self.sim.now, self._resume, (target._value, None))
+            self._step_throw(exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "running"

@@ -1,0 +1,117 @@
+"""Opt-in kernel profiling: event counters and per-module attribution.
+
+The :class:`~repro.sim.engine.Simulator` carries a ``_prof`` hook that
+is ``None`` by default — the hot scheduling paths pay exactly one
+pointer check when profiling is off.  Attaching a
+:class:`KernelProfile` makes both scheduling paths (heap and microtask
+queue) report every scheduled callback::
+
+    from repro.sim import Simulator
+    from repro.sim.profile import KernelProfile
+
+    sim = Simulator()
+    prof = KernelProfile()
+    prof.attach(sim)
+    ...  # build the machine, run the simulation
+    snap = prof.snapshot()
+    print(snap["micro_ratio"], snap["by_module"])
+
+The snapshot reports:
+
+``events_scheduled``
+    Total callbacks scheduled (heap + microtask queue).
+``events_dispatched``
+    Callbacks actually executed so far (scheduled minus still-pending).
+``heap_scheduled`` / ``micro_scheduled`` / ``micro_ratio``
+    How much traffic the microtask fast path absorbed; the DES
+    optimisation work targets a high ratio (zero-delay continuations
+    dominate event volume).
+``by_module``
+    ``{"module:qualname": count}`` of scheduled callbacks — where the
+    event volume comes from, at function granularity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from .engine import Simulator
+
+__all__ = ["KernelProfile"]
+
+
+def _callback_key(fn: Any) -> str:
+    """``module:qualname`` for a scheduled callback.
+
+    Handles plain functions, bound methods and callable instances
+    (e.g. the kernel's ``_CallbackBatch``).
+    """
+    func = getattr(fn, "__func__", fn)
+    qual = getattr(func, "__qualname__", None)
+    if qual is None:
+        cls = type(fn)
+        return f"{cls.__module__}:{cls.__qualname__}"
+    return f"{getattr(func, '__module__', '?')}:{qual}"
+
+
+class KernelProfile:
+    """Counts every callback the kernel schedules, split by path."""
+
+    __slots__ = ("sim", "heap_scheduled", "micro_scheduled", "by_module")
+
+    def __init__(self) -> None:
+        self.sim: Optional[Simulator] = None
+        self.heap_scheduled = 0
+        self.micro_scheduled = 0
+        self.by_module: Counter = Counter()
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, sim: Simulator) -> "KernelProfile":
+        """Install on ``sim`` (replacing any previous profile)."""
+        self.sim = sim
+        sim._prof = self
+        return self
+
+    def detach(self) -> None:
+        if self.sim is not None and self.sim._prof is self:
+            self.sim._prof = None
+        self.sim = None
+
+    # -- kernel hook ---------------------------------------------------
+    def _record(self, fn: Any, micro: bool) -> None:
+        """Called by the Simulator for every scheduled callback."""
+        if micro:
+            self.micro_scheduled += 1
+        else:
+            self.heap_scheduled += 1
+        self.by_module[_callback_key(fn)] += 1
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def events_scheduled(self) -> int:
+        return self.heap_scheduled + self.micro_scheduled
+
+    @property
+    def events_dispatched(self) -> int:
+        """Scheduled minus still-pending (valid while attached)."""
+        pending = self.sim.pending_events if self.sim is not None else 0
+        return self.events_scheduled - pending
+
+    def snapshot(self, top: int = 15) -> Dict[str, Any]:
+        """A JSON-friendly summary of the counters so far."""
+        total = self.events_scheduled
+        return {
+            "events_scheduled": total,
+            "events_dispatched": self.events_dispatched,
+            "heap_scheduled": self.heap_scheduled,
+            "micro_scheduled": self.micro_scheduled,
+            "micro_ratio": (self.micro_scheduled / total) if total else 0.0,
+            "by_module": dict(self.by_module.most_common(top)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<KernelProfile heap={self.heap_scheduled} "
+            f"micro={self.micro_scheduled}>"
+        )

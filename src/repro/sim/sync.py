@@ -26,6 +26,8 @@ class Mailbox:
     arrival order.
     """
 
+    __slots__ = ("sim", "name", "_items", "_waiters")
+
     def __init__(self, sim: Simulator, name: str = "mbox") -> None:
         self.sim = sim
         self.name = name
@@ -60,6 +62,8 @@ class Mailbox:
 
 class Semaphore:
     """Counting semaphore with FIFO fairness."""
+
+    __slots__ = ("sim", "_value", "_waiters")
 
     def __init__(self, sim: Simulator, value: int = 1) -> None:
         if value < 0:
@@ -100,6 +104,8 @@ class Barrier:
     generation number (0, 1, 2, ...) that completed.
     """
 
+    __slots__ = ("sim", "parties", "generation", "_arrived", "_event")
+
     def __init__(self, sim: Simulator, parties: int) -> None:
         if parties < 1:
             raise ValueError("barrier needs >= 1 party")
@@ -123,6 +129,8 @@ class Barrier:
 
 class Latch:
     """One-shot count-down latch; fires when count reaches zero."""
+
+    __slots__ = ("sim", "_count", "_event")
 
     def __init__(self, sim: Simulator, count: int) -> None:
         if count < 0:

@@ -109,5 +109,17 @@ class Tracer:
     def of_kind(self, kind: str) -> List[TraceRecord]:
         return [r for r in self._records if r.kind == kind]
 
+    def formatted(self) -> List[str]:
+        """Canonical one-line-per-record form, ``time|actor|kind|detail``.
+
+        ``repr`` is used for time and detail so the output is exact
+        (byte-for-byte comparable); the golden-trace determinism tests
+        diff these lines against a committed fixture.
+        """
+        return [
+            f"{r.time!r}|{r.actor}|{r.kind}|{r.detail!r}"
+            for r in self._records
+        ]
+
     def clear(self) -> None:
         self._records.clear()

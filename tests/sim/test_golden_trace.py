@@ -1,0 +1,54 @@
+"""Golden-trace determinism regression.
+
+Replays a 128-PE on-demand startup and compares the full protocol
+trace — every active message, connection request/serve/established,
+put and get, with exact timestamps — byte-for-byte against a fixture
+captured *before* the fast-path kernel work (microtask queue, plain
+``__slots__`` messages, yield-float sleeps, lazy callback storage,
+synchronous process resume, lazy heap backing).
+
+Any scheduling-order or cost-model drift introduced by a kernel
+optimisation shows up here as a diff, not as a silently different
+simulation.  If you change the *model* deliberately, regenerate the
+fixture::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.apps import HelloWorld
+    from repro.cluster import cluster_b
+    from repro.core import Job, RuntimeConfig
+    job = Job(npes=128, config=RuntimeConfig.proposed(),
+              cluster=cluster_b(128, ppn=16), trace=True)
+    job.run(HelloWorld())
+    with open("tests/data/golden_trace_ondemand_128.txt", "w") as fh:
+        fh.write("\n".join(job.tracer.formatted()) + "\n")
+    EOF
+"""
+
+from pathlib import Path
+
+from repro.apps import HelloWorld
+from repro.cluster import cluster_b
+from repro.core import Job, RuntimeConfig
+
+FIXTURE = Path(__file__).parent.parent / "data" / "golden_trace_ondemand_128.txt"
+
+
+def test_ondemand_startup_trace_matches_golden_fixture():
+    job = Job(
+        npes=128,
+        config=RuntimeConfig.proposed(),
+        cluster=cluster_b(128, ppn=16),
+        trace=True,
+    )
+    job.run(HelloWorld())
+    got = job.tracer.formatted()
+    want = FIXTURE.read_text().splitlines()
+
+    # Pinpoint the first divergence before the full comparison so a
+    # regression reports *where* the schedule drifted, not just "lists
+    # differ" over ~1200 lines.
+    for i, (g, w) in enumerate(zip(got, want)):
+        assert g == w, f"trace diverges at line {i + 1}:\n  got:  {g}\n  want: {w}"
+    assert len(got) == len(want), (
+        f"trace length changed: got {len(got)} lines, fixture has {len(want)}"
+    )
