@@ -91,8 +91,18 @@ class CostModel:
     ud_mtu_bytes: int = 2048
     ud_loss_prob: float = 0.0005
     ud_duplicate_prob: float = 0.0001
+    #: Extra fabric dwell time of a duplicated datagram's second copy
+    #: (switch buffering that caused the duplicate in the first place).
+    ud_duplicate_delay_us: float = 3.0
     ud_retry_timeout_us: float = 800.0
     ud_max_retries: int = 12
+    #: Transient RC-QP-creation failure (ENOMEM) handling in the
+    #: on-demand conduit: bounded exponential backoff, base doubling
+    #: per attempt up to the cap, with deterministic per-(rank, peer)
+    #: jitter so colliding ranks decorrelate.
+    qp_create_max_retries: int = 6
+    qp_create_backoff_base_us: float = 50.0
+    qp_create_backoff_cap_us: float = 3200.0
 
     # ------------------------------------------------------------------
     # PMI / out-of-band network (management Ethernet, TCP)

@@ -9,8 +9,10 @@ cannot help the static scheme).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..errors import ConfigError
+from ..faults import FaultPlan
 
 __all__ = ["RuntimeConfig"]
 
@@ -42,6 +44,9 @@ class RuntimeConfig:
     heap_backing_kb: int = 64
     #: RNG master seed for the whole job.
     seed: int = 12345
+    #: Deterministic fault plan (:class:`repro.faults.FaultPlan` or the
+    #: equivalent config dict); ``None`` disables injection.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.connection_mode not in _CONNECTION_MODES:
@@ -54,6 +59,17 @@ class RuntimeConfig:
             raise ConfigError("heap_mb must be positive")
         if self.heap_backing_kb <= 0:
             raise ConfigError("heap_backing_kb must be positive")
+        if isinstance(self.fault_plan, dict):
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_dict(self.fault_plan)
+            )
+        elif self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigError(
+                f"fault_plan must be a FaultPlan or config dict, "
+                f"got {self.fault_plan!r}"
+            )
 
     # -- the paper's two corners ------------------------------------------
     @classmethod

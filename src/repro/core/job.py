@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..cluster import Cluster, cluster_a
 from ..errors import ConfigError
+from ..faults import FaultInjector, FaultPlan
 from ..gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
 from ..ib import HCA, Fabric, VerbsContext
 from ..mpi import Communicator
@@ -42,6 +43,7 @@ class Job:
         cluster: Optional[Cluster] = None,
         cluster_factory: Optional[Callable[[int], Cluster]] = None,
         trace: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if npes < 1:
             raise ConfigError("npes must be >= 1")
@@ -77,6 +79,16 @@ class Job:
         ]
         self.pmi_domain = PMIDomain(self.sim, self.cluster, self.counters)
         self.pmi = [PMIClient(self.pmi_domain, r) for r in range(npes)]
+        # -- fault injection (explicit arg wins over config) ------------
+        plan = faults if faults is not None else self.config.fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
+        if plan is not None and not plan.empty:
+            self.fault_injector = FaultInjector(
+                plan, self.sim, self.rng, self.counters
+            ).install(
+                fabric=self.fabric, hcas=self.hcas,
+                pmi_domain=self.pmi_domain,
+            )
         self.network = ConduitNetwork()
         #: Protocol-level event log (connects, AMs, RMA); off by default
         #: so it costs one pointer check on the hot paths.

@@ -6,6 +6,7 @@ __all__ = [
     "ReproError",
     "VerbsError",
     "QPStateError",
+    "ResourceExhaustedError",
     "MemoryRegistrationError",
     "RemoteAccessError",
     "PMIError",
@@ -26,6 +27,11 @@ class VerbsError(ReproError):
 
 class QPStateError(VerbsError):
     """Operation attempted on a QP in the wrong state."""
+
+
+class ResourceExhaustedError(VerbsError):
+    """Transient ENOMEM-style verbs failure (e.g. QP context memory);
+    callers are expected to back off and retry."""
 
 
 class MemoryRegistrationError(VerbsError):

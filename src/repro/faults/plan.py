@@ -1,0 +1,238 @@
+"""Declarative fault plans: the *what* of fault injection.
+
+A :class:`FaultPlan` is pure data — a frozen description of which
+adverse events the simulated machine should suffer.  It deliberately
+knows nothing about the simulator: the same plan object can be printed,
+round-tripped through a config dict, and attached to any number of
+runs.  The runtime evaluation (seeded RNG streams, per-rule budgets,
+counters) lives in :class:`repro.faults.injector.FaultInjector`.
+
+Three rule families cover the adverse paths the paper's on-demand
+handshake must survive (Sections IV-A/IV-E):
+
+* :class:`UDFault`       — drop / duplicate / delay UD datagrams,
+  scoped per (src, dst) node pair, time window, probability, or a
+  "first N matching packets" budget (blackhole intervals and
+  "drop the first N requests to peer P" compose from these);
+* :class:`QPCreateFault` — ENOMEM-style RC QP creation failures the
+  conduit must ride out with bounded exponential backoff;
+* :class:`PMIFault`      — process-manager daemon slowdown factors and
+  restart (outage) windows.
+
+All times are simulated microseconds, matching the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["FaultPlan", "UDFault", "QPCreateFault", "PMIFault"]
+
+#: Half-open activity interval ``[start_us, end_us)``.
+Window = Tuple[float, float]
+
+_UD_ACTIONS = ("drop", "duplicate", "delay")
+
+
+def _check_window(window: Optional[Window], what: str) -> None:
+    if window is None:
+        return
+    if len(window) != 2 or not window[0] < window[1] or window[0] < 0:
+        raise ConfigError(
+            f"{what}: window must be (start, end) with 0 <= start < end, "
+            f"got {window!r}"
+        )
+
+
+def _check_prob(prob: float, what: str) -> None:
+    if not 0.0 <= prob <= 1.0:
+        raise ConfigError(f"{what}: prob must be in [0, 1], got {prob!r}")
+
+
+def _check_first_n(first_n: Optional[int], what: str) -> None:
+    if first_n is not None and first_n < 1:
+        raise ConfigError(f"{what}: first_n must be >= 1, got {first_n!r}")
+
+
+@dataclass(frozen=True)
+class UDFault:
+    """One UD datagram fault rule.
+
+    A packet matches when its source/destination node, the current
+    simulated time, the per-rule ``first_n`` budget and a Bernoulli
+    draw (from the rule's own RNG stream, keyed per (src, dst) pair)
+    all agree.  ``action`` then decides the packet's fate:
+
+    * ``"drop"``      — silently discarded (the fabric counts it);
+    * ``"duplicate"`` — a second copy is delivered ``delay_us`` (+
+      jitter) later;
+    * ``"delay"``     — delivery is postponed by ``delay_us`` (+
+      jitter), which *reorders* it past packets sent after it.
+    """
+
+    action: str
+    #: Source / destination node index (``None`` matches any).
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    #: Per-matching-packet firing probability.
+    prob: float = 1.0
+    #: Fire on at most the first N matching packets, then go inert.
+    first_n: Optional[int] = None
+    #: Active only inside ``[start, end)`` (``None`` = always).
+    window: Optional[Window] = None
+    #: Fixed extra delay for ``duplicate``/``delay`` actions.
+    delay_us: float = 0.0
+    #: Uniform extra delay in ``[0, jitter_us)`` from the rule's stream.
+    jitter_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in _UD_ACTIONS:
+            raise ConfigError(
+                f"UDFault action must be one of {_UD_ACTIONS}, "
+                f"got {self.action!r}"
+            )
+        _check_prob(self.prob, "UDFault")
+        _check_first_n(self.first_n, "UDFault")
+        _check_window(self.window, "UDFault")
+        if self.delay_us < 0 or self.jitter_us < 0:
+            raise ConfigError("UDFault: delay_us/jitter_us must be >= 0")
+
+
+@dataclass(frozen=True)
+class QPCreateFault:
+    """RC QP creation fails with an ENOMEM-style error.
+
+    Models HCA on-board QP-context exhaustion under contention: the
+    failure is transient, so a retry after backoff succeeds once the
+    ``first_n`` budget is spent (or the window closes).
+    """
+
+    #: Only this PE's creations fail (``None`` matches any rank).
+    rank: Optional[int] = None
+    prob: float = 1.0
+    first_n: Optional[int] = None
+    #: Count the ``first_n`` budget per rank instead of globally.
+    per_rank: bool = False
+    window: Optional[Window] = None
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, "QPCreateFault")
+        _check_first_n(self.first_n, "QPCreateFault")
+        _check_window(self.window, "QPCreateFault")
+
+
+@dataclass(frozen=True)
+class PMIFault:
+    """PMI daemon degradation over one time window.
+
+    ``slowdown`` multiplies the daemon's per-request CPU time;
+    ``outage=True`` models a daemon restart: work arriving inside the
+    window is deferred until the daemon is back at ``window[1]``.
+    """
+
+    window: Window = (0.0, 0.0)
+    #: Node whose daemon is affected (``None`` = every daemon).
+    node: Optional[int] = None
+    slowdown: float = 1.0
+    outage: bool = False
+
+    def __post_init__(self) -> None:
+        _check_window(self.window, "PMIFault")
+        if self.slowdown < 1.0:
+            raise ConfigError(
+                f"PMIFault: slowdown must be >= 1, got {self.slowdown!r}"
+            )
+        if not self.outage and self.slowdown == 1.0:
+            raise ConfigError("PMIFault: rule has no effect "
+                              "(slowdown == 1 and outage is False)")
+
+
+_RULE_TYPES = {"ud": UDFault, "qp_create": QPCreateFault, "pmi": PMIFault}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named bundle of fault rules, buildable in code or from config.
+
+    Example::
+
+        plan = FaultPlan(
+            name="flaky-startup",
+            ud=(UDFault("drop", prob=0.2),
+                UDFault("drop", dst=3, first_n=2)),
+            qp_create=(QPCreateFault(first_n=1, per_rank=True),),
+        )
+
+    or equivalently ``FaultPlan.from_dict({...})`` with the same field
+    names (rule windows may be 2-element lists).
+    """
+
+    name: str = "faults"
+    ud: Tuple[UDFault, ...] = ()
+    qp_create: Tuple[QPCreateFault, ...] = ()
+    pmi: Tuple[PMIFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Config dicts hand in lists; normalise to tuples so the plan
+        # stays frozen-hashable and order-stable.
+        for fam in _RULE_TYPES:
+            value = getattr(self, fam)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, fam, tuple(value))
+        for fam, rule_type in _RULE_TYPES.items():
+            for rule in getattr(self, fam):
+                if not isinstance(rule, rule_type):
+                    raise ConfigError(
+                        f"FaultPlan.{fam} entries must be "
+                        f"{rule_type.__name__}, got {rule!r}"
+                    )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.ud or self.qp_create or self.pmi)
+
+    # -- config round-trip ---------------------------------------------
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "FaultPlan":
+        """Build a plan from a plain config mapping."""
+        if not isinstance(spec, dict):
+            raise ConfigError(f"FaultPlan spec must be a dict, got {spec!r}")
+        unknown = set(spec) - ({"name"} | set(_RULE_TYPES))
+        if unknown:
+            raise ConfigError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {"name": spec.get("name", "faults")}
+        for fam, rule_type in _RULE_TYPES.items():
+            rules = []
+            for entry in spec.get(fam, ()):
+                if isinstance(entry, rule_type):
+                    rules.append(entry)
+                    continue
+                entry = dict(entry)
+                if entry.get("window") is not None:
+                    entry["window"] = tuple(entry["window"])
+                valid = {f.name for f in fields(rule_type)}
+                bad = set(entry) - valid
+                if bad:
+                    raise ConfigError(
+                        f"unknown {rule_type.__name__} fields: {sorted(bad)}"
+                    )
+                rules.append(rule_type(**entry))
+            kwargs[fam] = tuple(rules)
+        return cls(**kwargs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Inverse of :meth:`from_dict` (plain types only)."""
+        out: Dict[str, Any] = {"name": self.name}
+        for fam in _RULE_TYPES:
+            out[fam] = [
+                {
+                    f.name: (list(v) if isinstance(v := getattr(r, f.name),
+                                                   tuple) else v)
+                    for f in fields(type(r))
+                }
+                for r in getattr(self, fam)
+            ]
+        return out

@@ -355,7 +355,7 @@ class Conduit:
         delay = self.cost.intra_node_time(msg.nbytes)
         target_cq = self.network.peer(peer)._recv_cq
         wc = WorkCompletion(
-            wr_id=0, opcode=Opcode.SEND, byte_len=msg.nbytes, data=msg
+            wr_id=0, opcode=Opcode.RECV, byte_len=msg.nbytes, data=msg
         )
         self.sim._schedule_at(self.sim.now + delay, target_cq.push, wc)
         self.counters.add("conduit.intra_am")

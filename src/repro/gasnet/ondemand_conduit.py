@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
-from ..errors import ConduitError
+from ..errors import ConduitError, ResourceExhaustedError
 from ..ib import CompletionQueue, RCQueuePair
 from ..sim import SimEvent
 from .conduit import Conduit
@@ -92,7 +92,7 @@ class OnDemandConduit(Conduit):
         directory = yield from self.resolve_directory()
         dst_ud = directory[peer]
         send_cq = self.ctx.create_cq(f"rc-send-{peer}")
-        qp = yield from self.ctx.create_rc_qp(send_cq, self._recv_cq)
+        qp = yield from self._create_rc_qp_backoff(send_cq, peer)
         yield from self.ctx.modify_init(qp)
         if pending.abandoned or ev.triggered or peer in self._conns:
             # While we were creating the QP, our own progress process
@@ -116,6 +116,7 @@ class OnDemandConduit(Conduit):
             tr.log(f"pe{self.rank}", "connect_req", peer)
 
         req_payload = self._exchange_payload
+        sends = 0
         for attempt in range(self.cost.ud_max_retries + 1):
             req = ConnectRequest(
                 src_rank=self.rank, rc_addr=qp.address,
@@ -123,6 +124,11 @@ class OnDemandConduit(Conduit):
             )
             if attempt < self.cost.ud_max_retries:
                 yield from self._ud_send(dst_ud, req, req.nbytes)
+                sends += 1
+                if sends > 1:
+                    # Count actual retransmissions only — neither the
+                    # first send nor the final grace pass is a retry.
+                    self.counters.add("conduit.connect_retries")
             # else: final grace wait for an in-flight reply.
             timeout = self.sim.timeout(self.cost.ud_retry_timeout_us)
             which, _value = yield self.sim.any_of([ev, timeout])
@@ -136,11 +142,48 @@ class OnDemandConduit(Conduit):
                 qp.destroy()
                 self._finish_superseded(peer, pending)
                 return
-            self.counters.add("conduit.connect_retries")
         raise ConduitError(
-            f"PE {self.rank}: connect to {peer} failed after "
-            f"{self.cost.ud_max_retries} retries"
+            f"PE {self.rank}: connect to {peer} failed after {sends} sends "
+            f"({sends - 1} retransmissions)"
         )
+
+    def _create_rc_qp_backoff(self, send_cq: CompletionQueue, peer: int):
+        """Create an RC QP, riding out transient ENOMEM failures.
+
+        QP-context memory can be (transiently) exhausted under load or
+        a fault plan; the conduit retries with bounded exponential
+        backoff.  The jitter is a pure function of (rank, peer,
+        attempt) — deterministic for the replay tests, yet decorrelated
+        across ranks so colliding creators do not retry in lockstep.
+        """
+        attempt = 0
+        while True:
+            try:
+                qp = yield from self.ctx.create_rc_qp(send_cq, self._recv_cq)
+            except ResourceExhaustedError:
+                if attempt >= self.cost.qp_create_max_retries:
+                    raise ConduitError(
+                        f"PE {self.rank}: QP creation toward {peer} still "
+                        f"failing after {attempt} backoff retries"
+                    ) from None
+                self.counters.add("conduit.qp_create_retries")
+                yield self._qp_backoff_delay(attempt, peer)
+                attempt += 1
+            else:
+                return qp
+
+    def _qp_backoff_delay(self, attempt: int, peer: int) -> float:
+        base = min(
+            self.cost.qp_create_backoff_base_us * (1 << attempt),
+            self.cost.qp_create_backoff_cap_us,
+        )
+        # Golden-ratio style hash -> jitter fraction in [0, 1).
+        h = (
+            (self.rank * 0x9E3779B1)
+            ^ (peer * 0x85EBCA77)
+            ^ (attempt * 0xC2B2AE35)
+        ) & 0xFFFFFFFF
+        return base * (1.0 + h / 2.0**32)
 
     def _finish_superseded(self, peer: int, pending: "_PendingConnect") -> None:
         """Our client attempt lost to a concurrently served connection."""
@@ -215,7 +258,7 @@ class OnDemandConduit(Conduit):
                 self.counters.add("conduit.collisions_served")
                 pending.abandoned = True
             send_cq = self.ctx.create_cq(f"rc-send-{peer}")
-            qp = yield from self.ctx.create_rc_qp(send_cq, self._recv_cq)
+            qp = yield from self._create_rc_qp_backoff(send_cq, peer)
             yield from self.ctx.modify_init(qp)
         yield from self.ctx.modify_rtr(qp, req.rc_addr)
         rep = ConnectReply(
@@ -228,6 +271,15 @@ class OnDemandConduit(Conduit):
         yield from self.ctx.modify_rts(qp)
         self._register_connection(peer, qp, send_cq)
         self._deliver_payload(peer, req.payload)
+        # The reply stays cached for idempotent retransmission to
+        # duplicate requests, but only as long as the client can still
+        # be retransmitting; after its full retry budget has elapsed
+        # the entry is garbage (the exchange payload it carries is the
+        # bulk of it), so evict on a timer instead of leaking one entry
+        # per served peer for the lifetime of the job.
+        self.sim._schedule_at(
+            self.sim.now + self._serving_ttl_us(), self._evict_serving, peer
+        )
         # Wake whichever client attempt exists *now* (it may have been
         # created after we sampled `pending` at serve entry).
         latest = self._pending.get(peer)
@@ -239,3 +291,13 @@ class OnDemandConduit(Conduit):
                 del self._pending[peer]
             if not latest.event.triggered:
                 latest.event.succeed()
+
+    def _serving_ttl_us(self) -> float:
+        """How long a served reply must stay retransmittable: the
+        client's whole retry schedule (sends plus the grace pass) can
+        still produce duplicate requests until it gives up."""
+        return (self.cost.ud_max_retries + 1) * self.cost.ud_retry_timeout_us
+
+    def _evict_serving(self, peer: int) -> None:
+        if self._serving.pop(peer, None) is not None:
+            self.counters.add("conduit.serving_evicted")

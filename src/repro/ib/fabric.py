@@ -12,16 +12,20 @@ Timing model per packet:
 
 UD packets additionally face loss and duplication (seeded RNG stream)
 -- reliability is the *software's* job, exactly as on real hardware.
+An installed :class:`~repro.faults.FaultInjector` layers scheduled
+drops, duplicates and delay-based *reordering* on top of that baseline
+noise (consulted first, so a plan can blackhole a pair outright).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..cluster import Cluster
 from ..sim import Counters, RngRegistry, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector
     from .hca import HCA
     from .types import Packet
 
@@ -44,6 +48,8 @@ class Fabric:
         self.counters = counters
         self._loss_rng = rng.stream("fabric.ud-loss")
         self._hcas: Dict[int, "HCA"] = {}  # lid -> HCA
+        #: Optional fault injector (installed by ``Job(faults=...)``).
+        self.faults: Optional["FaultInjector"] = None
 
     def attach(self, hca: "HCA") -> None:
         if hca.lid in self._hcas:
@@ -67,12 +73,27 @@ class Fabric:
         self.counters.add("fabric.bytes", packet.nbytes)
 
         if unreliable:
+            extra = 0.0
+            faults = self.faults
+            if faults is not None:
+                dropped, extra, dup_delays = faults.ud_fate(src.node, dst.node)
+                if dropped:
+                    self.counters.add("fabric.ud_dropped")
+                    return
+                for dup in dup_delays:
+                    self.counters.add("fabric.ud_duplicated")
+                    self._deliver(src, dst, packet, extra_delay=extra + dup)
             if self._loss_rng.random() < self.cost.ud_loss_prob:
                 self.counters.add("fabric.ud_dropped")
                 return
             if self._loss_rng.random() < self.cost.ud_duplicate_prob:
                 self.counters.add("fabric.ud_duplicated")
-                self._deliver(src, dst, packet, extra_delay=3.0)
+                self._deliver(
+                    src, dst, packet,
+                    extra_delay=extra + self.cost.ud_duplicate_delay_us,
+                )
+            self._deliver(src, dst, packet, extra_delay=extra)
+            return
 
         self._deliver(src, dst, packet, extra_delay=0.0)
 

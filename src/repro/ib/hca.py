@@ -14,13 +14,14 @@ clusters).  The HCA owns
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..cluster import CostModel
 from ..sim import Counters, Simulator
 from .memory import MemoryManager, MemoryRegion
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector
     from .fabric import Fabric
     from .types import Packet
 
@@ -51,6 +52,8 @@ class HCA:
         self._next_qpn = 1
         self._qp_cache: "OrderedDict[int, None]" = OrderedDict()
         self._rkeys: Dict[int, Tuple[MemoryRegion, MemoryManager]] = {}
+        #: Optional fault injector (installed by ``Job(faults=...)``).
+        self.faults: Optional["FaultInjector"] = None
         fabric.attach(self)
 
     # -- QP management ----------------------------------------------------
@@ -58,6 +61,21 @@ class HCA:
         qpn = self._next_qpn
         self._next_qpn += 1
         return qpn
+
+    def try_alloc_rc_context(self, rank: int) -> None:
+        """Gate for RC QP creation: the HCA's on-board context memory
+        may be (transiently) exhausted under a fault plan, in which
+        case creation fails ENOMEM-style and the caller must back off
+        and retry (the on-demand conduit does)."""
+        faults = self.faults
+        if faults is not None and faults.qp_create_fails(rank):
+            from ..errors import ResourceExhaustedError
+
+            self.counters.add("hca.qp_enomem")
+            raise ResourceExhaustedError(
+                f"LID {self.lid:#x}: out of QP context memory (ENOMEM) "
+                f"creating RC QP for PE {rank}"
+            )
 
     def register_qp(self, qp) -> None:
         if qp.qpn in self._qps:

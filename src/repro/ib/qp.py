@@ -110,7 +110,7 @@ class UDQueuePair(_QueuePairBase):
         self.recv_cq.push(
             WorkCompletion(
                 wr_id=0,
-                opcode=Opcode.SEND,
+                opcode=Opcode.RECV,
                 byte_len=packet.nbytes,
                 src_qpn=packet.src_qpn,
                 src_addr=EndpointAddress(packet.src_lid, packet.src_qpn),
@@ -236,6 +236,15 @@ class RCQueuePair(_QueuePairBase):
                 self.sim.now + self.RNR_RETRY_US, self.handle, packet
             )
             return
+        if self.state is QPState.ERROR:
+            # An RNR redelivery (scheduled above while we were INIT) can
+            # race with QP teardown: a collision-losing client destroys
+            # its half-connected QP while the delayed ``handle`` is
+            # still in flight.  Real HCAs silently drop traffic for a
+            # dead QP; raising here would crash the simulation on a
+            # perfectly legal protocol interleaving.
+            self.hca.counters.add("rc.dropped_dead_qp")
+            return
         if self.state not in (QPState.RTR, QPState.RTS):
             raise QPStateError(
                 f"RC QP {self.qpn} (PE {self.owner_rank}) got {packet.kind} "
@@ -246,7 +255,7 @@ class RCQueuePair(_QueuePairBase):
             self.recv_cq.push(
                 WorkCompletion(
                     wr_id=0,
-                    opcode=Opcode.SEND,
+                    opcode=Opcode.RECV,
                     byte_len=packet.nbytes,
                     src_qpn=packet.src_qpn,
                     src_addr=EndpointAddress(packet.src_lid, packet.src_qpn),

@@ -41,9 +41,13 @@ class QPState(enum.Enum):
 
 
 class Opcode(enum.Enum):
-    """Work-request opcodes."""
+    """Work-request / work-completion opcodes."""
 
     SEND = "SEND"
+    #: Receive-side completion of an inbound message (the verbs
+    #: ``IBV_WC_RECV`` family) — distinct from the sender's SEND
+    #: completion so CQ consumers can tell the two apart.
+    RECV = "RECV"
     RDMA_WRITE = "RDMA_WRITE"
     RDMA_READ = "RDMA_READ"
     ATOMIC_FETCH_ADD = "ATOMIC_FETCH_ADD"

@@ -104,6 +104,9 @@ class VerbsContext:
             self._prepaid_rc_qps -= 1
         else:
             yield self.cost.rc_qp_create_us
+            # A fault plan may fail the creation ENOMEM-style *after*
+            # the attempt's time is spent, as a real ibv_create_qp does.
+            self.hca.try_alloc_rc_context(self.rank)
             self.rc_qps_created += 1
             self.qp_memory_bytes += self.cost.rc_qp_memory_bytes
             self.counters.add("verbs.rc_qp_created")

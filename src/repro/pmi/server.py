@@ -20,11 +20,14 @@ serving 16 local ranks is genuinely a bottleneck, as on real systems.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..cluster import Cluster
 from ..sim import Counters, SimEvent, Simulator
 from .kvs import KeyValueStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector
 
 __all__ = ["PMIDomain", "Daemon"]
 
@@ -73,8 +76,13 @@ class Daemon:
     def occupy(self, arrival: float, cpu: float) -> float:
         """Queue ``cpu`` us of daemon work arriving at ``arrival``.
 
-        Returns the completion time; advances ``busy_until``.
+        Returns the completion time; advances ``busy_until``.  A fault
+        plan may defer the arrival past a restart (outage) window or
+        inflate ``cpu`` by a slowdown factor.
         """
+        faults = self.domain.faults
+        if faults is not None:
+            arrival, cpu = faults.pmi_adjust(self.node, arrival, cpu)
         start = max(arrival, self.busy_until)
         done = start + cpu
         self.busy_until = done
@@ -122,6 +130,8 @@ class PMIDomain:
         self.counters = counters
         self.fanout = max(2, cluster.cost.pmi_tree_fanout)
         self.nnodes = cluster.nnodes
+        #: Optional fault injector (installed by ``Job(faults=...)``).
+        self.faults: Optional["FaultInjector"] = None
         self.kvs = KeyValueStore()
         self.daemons = [
             Daemon(self, node, len(cluster.ranks_on_node(node)))

@@ -39,6 +39,18 @@ class RngRegistry:
             self._streams[name] = gen
         return gen
 
+    def substream(self, name: str, *key) -> np.random.Generator:
+        """Stream for a structured key, e.g. ``substream("faults.ud", 0, 3)``.
+
+        Each distinct ``(name, key)`` pair gets its own independent
+        generator — the fault injector uses one per (rule, src, dst)
+        so a fault schedule on one pair never perturbs the random
+        numbers another pair draws.
+        """
+        if key:
+            name = name + ":" + "/".join(str(k) for k in key)
+        return self.stream(name)
+
     def fork(self, name: str) -> "RngRegistry":
         """A registry whose streams are independent of this one's."""
         return RngRegistry(self._derive(f"fork:{name}") % (2**63))

@@ -1,0 +1,103 @@
+"""Chaos seed-sweep matrix over the on-demand handshake (tentpole test).
+
+Sweeps seeds x fault plans over a startup scenario containing
+collisions, all-to-all first touch and held requests, asserting that
+
+* every run terminates with full connectivity and bounded retries, and
+* re-running the same (seed, plan) produces a byte-identical trace.
+
+Set ``CHAOS_SEEDS`` (e.g. in CI quick mode) to bound the sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import FaultPlan, PMIFault, QPCreateFault, UDFault
+
+from .conftest import assert_converged, run_chaos
+
+NPES = 4
+N_SEEDS = int(os.environ.get("CHAOS_SEEDS", "25"))
+SEEDS = [101 + 13 * i for i in range(N_SEEDS)]
+
+PLANS = {
+    # 20% loss on every pair, on top of the baseline 1% noise.
+    "loss20": FaultPlan(name="loss20", ud=(UDFault("drop", prob=0.20),)),
+    # Random extra dwell on half the datagrams: later packets overtake
+    # earlier ones (the reordering DESIGN.md promises), plus duplicates.
+    "reorder": FaultPlan(
+        name="reorder",
+        ud=(
+            UDFault("delay", prob=0.5, delay_us=40.0, jitter_us=900.0),
+            UDFault("duplicate", prob=0.1, delay_us=10.0, jitter_us=200.0),
+        ),
+    ),
+    # Nothing gets through early on, and peer 1 additionally eats the
+    # first three requests aimed at it after the window lifts.
+    "blackhole": FaultPlan(
+        name="blackhole",
+        ud=(
+            UDFault("drop", window=(0.0, 2500.0)),
+            UDFault("drop", dst=1, first_n=3),
+        ),
+    ),
+    # Every rank's first two RC QP creations fail ENOMEM-style; the
+    # conduit's exponential backoff must ride it out on both the client
+    # and the serve side.
+    "qp_enomem": FaultPlan(
+        name="qp_enomem",
+        qp_create=(QPCreateFault(first_n=2, per_rank=True),),
+        ud=(UDFault("drop", prob=0.05),),
+    ),
+    # PMI daemons restart during startup (directory resolution stalls),
+    # then limp at 8x CPU for a while, with light UD loss on top.
+    "pmi_restart": FaultPlan(
+        name="pmi_restart",
+        pmi=(
+            PMIFault(window=(0.0, 2500.0), outage=True),
+            PMIFault(window=(2500.0, 6000.0), slowdown=8.0),
+        ),
+        ud=(UDFault("drop", prob=0.05),),
+    ),
+}
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_converges_and_replays_identically(plan_name, seed):
+    plan = PLANS[plan_name]
+    first = run_chaos(seed, plan, npes=NPES)
+    assert_converged(first, npes=NPES)
+    again = run_chaos(seed, plan, npes=NPES)
+    assert_converged(again, npes=NPES)
+    assert first.trace == again.trace, (
+        f"plan {plan_name!r} seed {seed}: trace not deterministic"
+    )
+    # The runs actually exercised the injector (except where the plan
+    # is probabilistic and this seed happened to fire nothing, which
+    # the budgeted plans below rule out).
+    if plan_name in ("blackhole", "qp_enomem"):
+        assert any(
+            first.rig.counters[k] > 0
+            for k in ("faults.ud_dropped", "faults.qp_create_failed")
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_chaos_traces_differ_across_seeds_but_not_within(seed):
+    """Different seeds genuinely explore different schedules."""
+    plan = PLANS["loss20"]
+    a = run_chaos(seed, plan, npes=NPES)
+    b = run_chaos(seed + 1, plan, npes=NPES)
+    assert_converged(a, npes=NPES)
+    assert_converged(b, npes=NPES)
+    assert a.trace != b.trace
+
+
+def test_matrix_dimensions_meet_acceptance_floor():
+    """The acceptance criteria demand >= 25 seeds x >= 4 plans (unless
+    CI quick mode explicitly bounded the sweep)."""
+    if "CHAOS_SEEDS" not in os.environ:
+        assert len(SEEDS) >= 25
+    assert len(PLANS) >= 4

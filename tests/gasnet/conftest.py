@@ -1,15 +1,16 @@
 """Conduit-level test rig: conduits wired over the IB + PMI substrates."""
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import pytest
 
 from repro.cluster import Cluster, CostModel
+from repro.faults import FaultInjector, FaultPlan
 from repro.gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
 from repro.ib import HCA, Fabric, VerbsContext
 from repro.pmi import PMIClient, PMIDomain
-from repro.sim import Counters, RngRegistry, Simulator, spawn
+from repro.sim import Counters, RngRegistry, Simulator, Tracer, spawn
 
 
 @dataclass
@@ -20,15 +21,26 @@ class CRig:
     ctxs: List[VerbsContext]
     conduits: list
     pmi: List[PMIClient]
+    network: Optional[ConduitNetwork] = None
+    faults: Optional[FaultInjector] = None
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.network.tracer
 
 
 def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
-                      ready=True):
+                      ready=True, faults=None, trace=False,
+                      pmi_directory=False):
     """Assemble conduits with endpoints initialised and directory set.
 
     With ``ready=True`` every conduit is marked ready and the UD
     directory is installed directly (no PMI), so handshake tests can
-    focus on the protocol itself.
+    focus on the protocol itself.  ``pmi_directory=True`` instead
+    resolves the directory lazily through a PMIX_Iallgather (so PMI
+    fault plans bite).  ``faults`` installs a
+    :class:`repro.faults.FaultPlan` across the fabric, HCAs and PMI
+    daemons; ``trace=True`` enables the protocol tracer.
     """
     cost = cost or CostModel().evolve(ud_loss_prob=0.0, ud_duplicate_prob=0.0)
     sim = Simulator()
@@ -46,7 +58,15 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
     ]
     domain = PMIDomain(sim, cluster, counters)
     pmi = [PMIClient(domain, r) for r in range(npes)]
+    injector = None
+    if faults is not None:
+        if not isinstance(faults, FaultPlan):
+            faults = FaultPlan.from_dict(faults)
+        injector = FaultInjector(faults, sim, rng, counters).install(
+            fabric=fabric, hcas=hcas, pmi_domain=domain
+        )
     network = ConduitNetwork()
+    network.tracer = Tracer(sim, enabled=trace)
     cls = OnDemandConduit if mode == "on-demand" else StaticConduit
     conduits = [
         cls(sim, network, ctxs[r], cluster, pmi[r], r) for r in range(npes)
@@ -55,15 +75,21 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
     def boot(sim):
         for c in conduits:
             yield from c.init_endpoint()
-        directory = {r: conduits[r].ud_address for r in range(npes)}
-        for c in conduits:
-            c.set_ud_directory(directory)
-            if ready:
+        if pmi_directory:
+            for r, c in enumerate(conduits):
+                c.set_ud_directory_handle(pmi[r].iallgather(c.ud_address))
+        else:
+            directory = {r: conduits[r].ud_address for r in range(npes)}
+            for c in conduits:
+                c.set_ud_directory(directory)
+        if ready:
+            for c in conduits:
                 c.mark_ready()
 
     spawn(sim, boot(sim), name="boot")
     sim.run()
-    return CRig(sim, cluster, counters, ctxs, conduits, pmi)
+    return CRig(sim, cluster, counters, ctxs, conduits, pmi,
+                network=network, faults=injector)
 
 
 @pytest.fixture
