@@ -47,9 +47,14 @@ def run_job(
     config: RuntimeConfig,
     testbed: str = "A",
     ppn: Optional[int] = None,
+    observe: bool = False,
     **config_overrides,
 ) -> JobResult:
-    """Run one job on the named paper testbed (A or B)."""
+    """Run one job on the named paper testbed (A or B).
+
+    ``observe=True`` runs with the flight recorder on; the result then
+    carries a ``telemetry`` section experiments can assert against.
+    """
     if config_overrides:
         config = config.evolve(**config_overrides)
     if testbed == "A":
@@ -58,4 +63,6 @@ def run_job(
         cluster = cluster_b(npes, ppn=ppn or 16)
     else:
         raise ValueError(f"unknown testbed {testbed!r}")
-    return Job(npes=npes, config=config, cluster=cluster).run(app)
+    job = Job(npes=npes, config=config, cluster=cluster,
+              observe=observe or None)
+    return job.run(app)

@@ -44,6 +44,10 @@ class RuntimeConfig:
     heap_backing_kb: int = 64
     #: RNG master seed for the whole job.
     seed: int = 12345
+    #: Enable the flight recorder (:mod:`repro.obs`): span tracing +
+    #: metrics registry on every substrate.  Off by default; when off
+    #: the instrumentation costs one predicate check per site.
+    observe: bool = False
     #: Deterministic fault plan (:class:`repro.faults.FaultPlan` or the
     #: equivalent config dict); ``None`` disables injection.
     fault_plan: Optional[FaultPlan] = None

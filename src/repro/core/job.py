@@ -24,6 +24,7 @@ from ..faults import FaultInjector, FaultPlan
 from ..gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
 from ..ib import HCA, Fabric, VerbsContext
 from ..mpi import Communicator
+from ..obs import Observability
 from ..pmi import PMIClient, PMIDomain
 from ..shmem import ShmemPE
 from ..sim import Barrier, Counters, RngRegistry, Simulator, Tracer, spawn
@@ -44,6 +45,7 @@ class Job:
         cluster_factory: Optional[Callable[[int], Cluster]] = None,
         trace: bool = False,
         faults: Optional[FaultPlan] = None,
+        observe: Optional[bool] = None,
     ) -> None:
         if npes < 1:
             raise ConfigError("npes must be >= 1")
@@ -61,7 +63,17 @@ class Job:
 
         # -- machine assembly ------------------------------------------
         self.sim = Simulator()
-        self.counters = Counters()
+        #: Flight recorder (spans + metrics registry); None unless the
+        #: job was built with observe=True (arg wins over config).  Every
+        #: substrate holds an ``obs`` pointer that stays None when off,
+        #: so instrumentation costs one predicate check per site.
+        obs_on = observe if observe is not None else self.config.observe
+        self.obs: Optional[Observability] = (
+            Observability(self.sim) if obs_on else None
+        )
+        self.counters = (
+            self.obs.counters_facade() if self.obs is not None else Counters()
+        )
         self.rng = RngRegistry(self.config.seed)
         self.fabric = Fabric(self.sim, self.cluster, self.rng, self.counters)
         cost = self.cluster.cost
@@ -79,6 +91,13 @@ class Job:
         ]
         self.pmi_domain = PMIDomain(self.sim, self.cluster, self.counters)
         self.pmi = [PMIClient(self.pmi_domain, r) for r in range(npes)]
+        if self.obs is not None:
+            self.fabric.obs = self.obs
+            for hca in self.hcas:
+                hca.obs = self.obs
+            self.pmi_domain.obs = self.obs
+            for client in self.pmi:
+                client.obs = self.obs
         # -- fault injection (explicit arg wins over config) ------------
         plan = faults if faults is not None else self.config.fault_plan
         self.fault_injector: Optional[FaultInjector] = None
@@ -89,7 +108,10 @@ class Job:
                 fabric=self.fabric, hcas=self.hcas,
                 pmi_domain=self.pmi_domain,
             )
+            if self.obs is not None:
+                self.fault_injector.obs = self.obs
         self.network = ConduitNetwork()
+        self.network.obs = self.obs
         #: Protocol-level event log (connects, AMs, RMA); off by default
         #: so it costs one pointer check on the hot paths.
         self.tracer = Tracer(self.sim, enabled=trace)
@@ -120,6 +142,7 @@ class Job:
         for r, pe in enumerate(self.pes):
             pe.install_peer_registry(registry)
             pe.node_barrier = node_barriers[self.cluster.node_of(r)]
+            pe.obs = self.obs
 
     # ------------------------------------------------------------------
     def run(self, app) -> JobResult:
@@ -172,4 +195,5 @@ class Job:
             resources=ResourceReport.from_pes(self.pes),
             app_results=results,
             counters=self.counters.as_dict(),
+            telemetry=self.obs.telemetry() if self.obs is not None else None,
         )

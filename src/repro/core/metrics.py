@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
+from ..errors import ConfigError
 from ..shmem.startup import STARTUP_PHASES
 
 __all__ = ["StartupReport", "ResourceReport", "JobResult"]
@@ -23,6 +24,8 @@ class StartupReport:
     @classmethod
     def from_pes(cls, pes) -> "StartupReport":
         n = len(pes)
+        if n == 0:
+            raise ConfigError("cannot build a StartupReport from 0 PEs")
         sums: Dict[str, float] = {p: 0.0 for p in STARTUP_PHASES}
         durations: List[float] = []
         for pe in pes:
@@ -51,6 +54,8 @@ class ResourceReport:
     @classmethod
     def from_pes(cls, pes) -> "ResourceReport":
         n = len(pes)
+        if n == 0:
+            raise ConfigError("cannot build a ResourceReport from 0 PEs")
         usages = [pe.resource_usage() for pe in pes]
 
         def mean(key: str) -> float:
@@ -83,6 +88,9 @@ class JobResult:
     #: Per-PE values returned by the application's run().
     app_results: List[Any]
     counters: Dict[str, int]
+    #: Flight-recorder payload (span stats + metrics snapshot) when the
+    #: job ran with ``observe=True``; ``None`` otherwise.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def wall_time_s(self) -> float:

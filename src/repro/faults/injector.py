@@ -50,6 +50,9 @@ class FaultInjector:
         self.sim = sim
         self.rng = rng
         self.counters = counters
+        #: Flight recorder (installed by ``Job(observe=True)``); fault
+        #: hits become instant spans on the "faults" track.
+        self.obs = None
         #: Per-UD-rule firing counts (first_n budgets).
         self._ud_fired: List[int] = [0] * len(plan.ud)
         #: Per-QP-rule firing counts; per-rank rules key by rank.
@@ -106,14 +109,25 @@ class FaultInjector:
             delay = rule.delay_us
             if rule.jitter_us > 0.0:
                 delay += stream.random() * rule.jitter_us
+            obs = self.obs
             if rule.action == "drop":
                 self.counters.add("faults.ud_dropped")
+                if obs is not None:
+                    obs.spans.event("fault.ud_drop", "faults", rule=i,
+                                    src_node=src_node, dst_node=dst_node)
                 return (True, 0.0, ())
             if rule.action == "duplicate":
                 self.counters.add("faults.ud_duplicated")
+                if obs is not None:
+                    obs.spans.event("fault.ud_duplicate", "faults", rule=i,
+                                    src_node=src_node, dst_node=dst_node)
                 dups.append(delay)
             else:  # "delay"
                 self.counters.add("faults.ud_delayed")
+                if obs is not None:
+                    obs.spans.event("fault.ud_delay", "faults", rule=i,
+                                    src_node=src_node, dst_node=dst_node,
+                                    delay_us=delay)
                 extra += delay
         if extra == 0.0 and not dups:
             return _NO_FAULT
@@ -142,6 +156,9 @@ class FaultInjector:
                     continue
             fired[key] = fired.get(key, 0) + 1
             self.counters.add("faults.qp_create_failed")
+            if self.obs is not None:
+                self.obs.spans.event("fault.qp_enomem", "faults", rule=i,
+                                     rank=rank)
             return True
         return False
 
@@ -161,7 +178,13 @@ class FaultInjector:
                 # is back up (clients see it as a very slow server).
                 arrival = end
                 self.counters.add("faults.pmi_deferrals")
+                if self.obs is not None:
+                    self.obs.spans.event("fault.pmi_outage", "faults",
+                                         node=node, deferred_to=end)
             if rule.slowdown > 1.0 and start <= arrival < end:
                 cpu *= rule.slowdown
                 self.counters.add("faults.pmi_slowdowns")
+                if self.obs is not None:
+                    self.obs.spans.event("fault.pmi_slowdown", "faults",
+                                         node=node, factor=rule.slowdown)
         return arrival, cpu

@@ -62,6 +62,9 @@ class ConduitNetwork:
         #: by ``Job(trace=True)``); used by the golden-trace
         #: determinism tests.
         self.tracer: Optional[Tracer] = None
+        #: Flight recorder (repro.obs.Observability) shared by every
+        #: conduit; installed by ``Job(observe=True)``, else None.
+        self.obs = None
 
     def register(self, conduit: "Conduit") -> None:
         self._conduits[conduit.rank] = conduit
@@ -107,6 +110,7 @@ class Conduit:
         self.rank = rank
         self.counters = ctx.counters
         self.tracer = network.tracer
+        self.obs = network.obs
 
         self._handlers: Dict[str, Callable] = {}
         self._conns: Dict[int, Connection] = {}

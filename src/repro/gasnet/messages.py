@@ -26,7 +26,7 @@ class ConnectRequest:
     asked the conduit to piggyback — the conduit never interprets it.
     """
 
-    __slots__ = ("src_rank", "rc_addr", "payload", "attempt")
+    __slots__ = ("src_rank", "rc_addr", "payload", "attempt", "span_id")
 
     def __init__(
         self,
@@ -34,12 +34,16 @@ class ConnectRequest:
         rc_addr: EndpointAddress,
         payload: bytes = b"",
         attempt: int = 0,
+        span_id=None,
     ) -> None:
         self.src_rank = src_rank
         self.rc_addr = rc_addr
         self.payload = payload
         #: Retransmission attempt (for tracing/diagnostics only).
         self.attempt = attempt
+        #: Flight-recorder span context (int or None).  Observation
+        #: metadata, not wire payload: never part of ``nbytes``.
+        self.span_id = span_id
 
     @property
     def nbytes(self) -> int:
@@ -55,17 +59,20 @@ class ConnectRequest:
 class ConnectReply:
     """UD connect reply: server -> client, same piggyback rules."""
 
-    __slots__ = ("src_rank", "rc_addr", "payload")
+    __slots__ = ("src_rank", "rc_addr", "payload", "span_id")
 
     def __init__(
         self,
         src_rank: int,
         rc_addr: EndpointAddress,
         payload: bytes = b"",
+        span_id=None,
     ) -> None:
         self.src_rank = src_rank
         self.rc_addr = rc_addr
         self.payload = payload
+        #: Flight-recorder span context (int or None); not in nbytes.
+        self.span_id = span_id
 
     @property
     def nbytes(self) -> int:

@@ -50,6 +50,8 @@ class _PendingConnect:
     qp: Optional[RCQueuePair] = None
     send_cq: Optional[CompletionQueue] = None
     abandoned: bool = False  # collision: peer serves us instead
+    #: Flight-recorder span covering this client attempt (or None).
+    span: object = None
 
 
 class OnDemandConduit(Conduit):
@@ -82,17 +84,27 @@ class OnDemandConduit(Conduit):
         ev = self.sim.event()
         pending = _PendingConnect(event=ev)
         self._pending[peer] = pending
+        obs = self.obs
+        if obs is not None:
+            # Root span of this establishment attempt; the server's
+            # serve span links back to it via the request's span_id.
+            pending.span = obs.spans.start(
+                "conduit.connect", f"pe{self.rank}", peer=peer
+            )
         if peer in self._serving:
             # Our own progress engine is already serving this peer's
             # request: sending our own request too would cross the
             # handshakes and pair mismatched QPs.  The serve's epilogue
             # wakes our pending event.
             yield ev
+            self._finish_connect_span(pending, "served")
             return
         directory = yield from self.resolve_directory()
         dst_ud = directory[peer]
         send_cq = self.ctx.create_cq(f"rc-send-{peer}")
         qp = yield from self._create_rc_qp_backoff(send_cq, peer)
+        if pending.span is not None:
+            qp.observe(obs.spans, pending.span)
         yield from self.ctx.modify_init(qp)
         if pending.abandoned or ev.triggered or peer in self._conns:
             # While we were creating the QP, our own progress process
@@ -107,6 +119,7 @@ class OnDemandConduit(Conduit):
                     self._finish_superseded(peer, pending)
             if self._pending.get(peer) is pending:
                 del self._pending[peer]
+            self._finish_connect_span(pending, "superseded")
             return
         pending.qp = qp
         pending.send_cq = send_cq
@@ -116,36 +129,60 @@ class OnDemandConduit(Conduit):
             tr.log(f"pe{self.rank}", "connect_req", peer)
 
         req_payload = self._exchange_payload
+        req_span_id = (
+            pending.span.span_id if pending.span is not None else None
+        )
         sends = 0
         for attempt in range(self.cost.ud_max_retries + 1):
             req = ConnectRequest(
                 src_rank=self.rank, rc_addr=qp.address,
                 payload=req_payload, attempt=attempt,
+                span_id=req_span_id,
             )
             if attempt < self.cost.ud_max_retries:
+                if obs is not None:
+                    obs.spans.event(
+                        "conduit.ud_request", f"pe{self.rank}",
+                        parent=pending.span, peer=peer, attempt=attempt,
+                    )
                 yield from self._ud_send(dst_ud, req, req.nbytes)
                 sends += 1
                 if sends > 1:
                     # Count actual retransmissions only — neither the
                     # first send nor the final grace pass is a retry.
                     self.counters.add("conduit.connect_retries")
+                    if obs is not None:
+                        obs.metrics.counter(
+                            "conduit.connect_retransmits").inc()
             # else: final grace wait for an in-flight reply.
             timeout = self.sim.timeout(self.cost.ud_retry_timeout_us)
             which, _value = yield self.sim.any_of([ev, timeout])
             if which is ev:
                 if peer in self._conns and self._conns[peer].qp is not qp:
                     qp.destroy()  # superseded by a served collision
+                # If the reply path connected us it already closed the
+                # span "connected"; otherwise a serve won — close it.
+                self._finish_connect_span(pending, "served")
                 return
             if peer in self._conns:
                 # Connected through the serve path without our event
                 # (we were not yet in _pending when it looked): adopt.
                 qp.destroy()
                 self._finish_superseded(peer, pending)
+                self._finish_connect_span(pending, "superseded")
                 return
+        self._finish_connect_span(pending, "failed")
         raise ConduitError(
             f"PE {self.rank}: connect to {peer} failed after {sends} sends "
             f"({sends - 1} retransmissions)"
         )
+
+    def _finish_connect_span(self, pending: "_PendingConnect",
+                             outcome: str) -> None:
+        """Close the client span if the reply path has not already."""
+        span = pending.span
+        if span is not None and span.end_us is None:
+            self.obs.spans.finish(span, outcome=outcome)
 
     def _create_rc_qp_backoff(self, send_cq: CompletionQueue, peer: int):
         """Create an RC QP, riding out transient ENOMEM failures.
@@ -199,12 +236,26 @@ class OnDemandConduit(Conduit):
             # Duplicate reply (retransmission already handled) -- drop.
             self.counters.add("conduit.dup_replies")
             return
+        obs = self.obs
+        if obs is not None:
+            obs.spans.event(
+                "conduit.reply_rx", f"pe{self.rank}",
+                parent=pending.span, src=peer,
+            )
         yield self.cost.conn_handshake_cpu_us
         yield from self.ctx.modify_rtr(pending.qp, rep.rc_addr)
         yield from self.ctx.modify_rts(pending.qp)
         self._register_connection(peer, pending.qp, pending.send_cq)
         self._deliver_payload(peer, rep.payload)
         del self._pending[peer]
+        if obs is not None:
+            span = pending.span
+            if span is not None:
+                obs.metrics.histogram("conduit.handshake_rtt_us").observe(
+                    self.sim.now - span.start_us
+                )
+                if span.end_us is None:
+                    obs.spans.finish(span, outcome="connected")
         pending.event.succeed()
 
     # ------------------------------------------------------------------
@@ -233,6 +284,11 @@ class OnDemandConduit(Conduit):
             # Hold until our segments are registered (Section IV-E).
             self._held_requests.append(req)
             self.counters.add("conduit.requests_held")
+            if self.obs is not None:
+                self.obs.spans.event(
+                    "conduit.request_held", f"pe{self.rank}",
+                    parent=req.span_id, src=peer,
+                )
             return
         yield from self._serve(req, pending)
 
@@ -243,6 +299,15 @@ class OnDemandConduit(Conduit):
         tr = self.tracer
         if tr is not None and tr.enabled:
             tr.log(f"pe{self.rank}", "serve", peer)
+        obs = self.obs
+        sspan = None
+        if obs is not None:
+            # Parented by the client's connect span id carried on the
+            # request — the causal link across the simulated wire.
+            sspan = obs.spans.start(
+                "conduit.serve", f"pe{self.rank}",
+                parent=req.span_id, peer=peer,
+            )
         # Marker: a serve is in progress (duplicate requests must not
         # spawn a second QP; the eventual reply is retransmittable).
         self._serving[peer] = None
@@ -259,18 +324,32 @@ class OnDemandConduit(Conduit):
                 pending.abandoned = True
             send_cq = self.ctx.create_cq(f"rc-send-{peer}")
             qp = yield from self._create_rc_qp_backoff(send_cq, peer)
+            if sspan is not None:
+                qp.observe(obs.spans, sspan)
             yield from self.ctx.modify_init(qp)
+        if sspan is not None:
+            # Collision-reuse rebinding included: from here the QP's
+            # transitions belong to the serve, not the dead attempt.
+            qp.observe(obs.spans, sspan)
         yield from self.ctx.modify_rtr(qp, req.rc_addr)
         rep = ConnectReply(
             src_rank=self.rank, rc_addr=qp.address,
             payload=self._exchange_payload,
+            span_id=sspan.span_id if sspan is not None else None,
         )
         self._serving[peer] = rep
         directory = yield from self.resolve_directory()
+        if sspan is not None:
+            obs.spans.event(
+                "conduit.ud_reply", f"pe{self.rank}",
+                parent=sspan, peer=peer,
+            )
         yield from self._ud_send(directory[peer], rep, rep.nbytes)
         yield from self.ctx.modify_rts(qp)
         self._register_connection(peer, qp, send_cq)
         self._deliver_payload(peer, req.payload)
+        if sspan is not None:
+            obs.spans.finish(sspan, outcome="connected")
         # The reply stays cached for idempotent retransmission to
         # duplicate requests, but only as long as the client can still
         # be retransmitting; after its full retry budget has elapsed

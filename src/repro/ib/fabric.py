@@ -50,6 +50,8 @@ class Fabric:
         self._hcas: Dict[int, "HCA"] = {}  # lid -> HCA
         #: Optional fault injector (installed by ``Job(faults=...)``).
         self.faults: Optional["FaultInjector"] = None
+        #: Flight recorder (installed by ``Job(observe=True)``).
+        self.obs = None
 
     def attach(self, hca: "HCA") -> None:
         if hca.lid in self._hcas:
@@ -74,20 +76,32 @@ class Fabric:
 
         if unreliable:
             extra = 0.0
+            obs = self.obs
             faults = self.faults
             if faults is not None:
                 dropped, extra, dup_delays = faults.ud_fate(src.node, dst.node)
                 if dropped:
                     self.counters.add("fabric.ud_dropped")
+                    if obs is not None:
+                        self._obs_ud_event(obs, "fabric.ud_drop", src, dst,
+                                           packet)
                     return
                 for dup in dup_delays:
                     self.counters.add("fabric.ud_duplicated")
+                    if obs is not None:
+                        self._obs_ud_event(obs, "fabric.ud_duplicate", src,
+                                           dst, packet)
                     self._deliver(src, dst, packet, extra_delay=extra + dup)
             if self._loss_rng.random() < self.cost.ud_loss_prob:
                 self.counters.add("fabric.ud_dropped")
+                if obs is not None:
+                    self._obs_ud_event(obs, "fabric.ud_drop", src, dst, packet)
                 return
             if self._loss_rng.random() < self.cost.ud_duplicate_prob:
                 self.counters.add("fabric.ud_duplicated")
+                if obs is not None:
+                    self._obs_ud_event(obs, "fabric.ud_duplicate", src, dst,
+                                       packet)
                 self._deliver(
                     src, dst, packet,
                     extra_delay=extra + self.cost.ud_duplicate_delay_us,
@@ -96,6 +110,17 @@ class Fabric:
             return
 
         self._deliver(src, dst, packet, extra_delay=0.0)
+
+    def _obs_ud_event(self, obs, name: str, src: "HCA", dst: "HCA",
+                      packet: "Packet") -> None:
+        """Record a UD loss/duplication on the fabric track, parented to
+        the in-flight handshake span when the payload carries one."""
+        parent = getattr(packet.payload, "span_id", None)
+        obs.spans.event(
+            name, "fabric", parent=parent,
+            src_node=src.node, dst_node=dst.node, nbytes=packet.nbytes,
+        )
+        obs.metrics.counter(name).inc()
 
     def _deliver(
         self, src: "HCA", dst: "HCA", packet: "Packet", extra_delay: float

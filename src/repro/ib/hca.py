@@ -54,6 +54,8 @@ class HCA:
         self._rkeys: Dict[int, Tuple[MemoryRegion, MemoryManager]] = {}
         #: Optional fault injector (installed by ``Job(faults=...)``).
         self.faults: Optional["FaultInjector"] = None
+        #: Flight recorder (installed by ``Job(observe=True)``).
+        self.obs = None
         fabric.attach(self)
 
     # -- QP management ----------------------------------------------------
@@ -101,6 +103,10 @@ class HCA:
         if len(cache) > self.cost.qp_cache_entries:
             cache.popitem(last=False)
         self.counters.add("hca.qp_cache_misses")
+        if self.obs is not None:
+            self.obs.metrics.histogram(
+                "hca.qp_cache_miss_penalty_us", node=self.node
+            ).observe(self.cost.qp_cache_miss_penalty_us)
         return self.cost.qp_cache_miss_penalty_us
 
     # -- memory routing -------------------------------------------------------

@@ -130,20 +130,64 @@ class RCQueuePair(_QueuePairBase):
         self.remote: Optional[EndpointAddress] = None
         #: Outstanding requests awaiting ack/response: token -> (wr_id, opcode).
         self._pending: Dict[int, Tuple[int, Opcode]] = {}
+        #: Flight-recorder binding: (SpanTracer, parent Span) or None.
+        #: Bound by the conduit during a handshake so QP transitions
+        #: land in the establishment's causal tree.
+        self._obs: Optional[Tuple[object, object]] = None
+        self._obs_delivered = False
+
+    # -- observation --------------------------------------------------------
+    def observe(self, spans, parent) -> None:
+        """Bind this QP's transitions to ``parent`` on ``spans``.
+
+        Rebinding (e.g. a collision-lost client QP adopted by the
+        serve path) only switches the parent; the initial-state event
+        is emitted once, at first bind.
+        """
+        first = self._obs is None
+        self._obs = (spans, parent)
+        if first:
+            spans.event(
+                f"qp.{self.state.value}", f"pe{self.owner_rank}",
+                parent=parent, qpn=self.qpn,
+            )
+
+    def _obs_transition(self) -> None:
+        spans, parent = self._obs
+        spans.event(
+            f"qp.{self.state.value}", f"pe{self.owner_rank}",
+            parent=parent, qpn=self.qpn,
+        )
 
     # -- state machine ------------------------------------------------------
     def modify_to_init(self) -> None:
         self._require(QPState.RESET)
         self.state = QPState.INIT
+        if self._obs is not None:
+            self._obs_transition()
 
     def modify_to_rtr(self, remote: EndpointAddress) -> None:
         self._require(QPState.INIT)
         self.remote = remote
         self.state = QPState.RTR
+        if self._obs is not None:
+            self._obs_transition()
 
     def modify_to_rts(self) -> None:
         self._require(QPState.RTR)
         self.state = QPState.RTS
+        if self._obs is not None:
+            self._obs_transition()
+
+    def destroy(self) -> None:
+        super().destroy()
+        if self._obs is not None:
+            spans, parent = self._obs
+            spans.event(
+                "qp.destroy", f"pe{self.owner_rank}",
+                parent=parent, qpn=self.qpn,
+            )
+            self._obs = None
 
     # -- posting ---------------------------------------------------------------
     def _transmit(self, kind: str, nbytes: int, **fields) -> None:
@@ -232,6 +276,12 @@ class RCQueuePair(_QueuePairBase):
     def handle(self, packet: Packet) -> None:
         if self.state is QPState.INIT:
             self.hca.counters.add("rc.rnr_retries")
+            if self._obs is not None:
+                spans, parent = self._obs
+                spans.event(
+                    "rc.rnr_retry", f"pe{self.owner_rank}",
+                    parent=parent, qpn=self.qpn, kind=packet.kind,
+                )
             self.sim._schedule_at(
                 self.sim.now + self.RNR_RETRY_US, self.handle, packet
             )
@@ -249,6 +299,15 @@ class RCQueuePair(_QueuePairBase):
             raise QPStateError(
                 f"RC QP {self.qpn} (PE {self.owner_rank}) got {packet.kind} "
                 f"while {self.state.value}"
+            )
+        if self._obs is not None and not self._obs_delivered:
+            # The first packet this RC QP delivers: the tail of the
+            # acceptance chain (handshake -> ... -> first RC delivery).
+            self._obs_delivered = True
+            spans, parent = self._obs
+            spans.event(
+                "rc.first_delivery", f"pe{self.owner_rank}",
+                parent=parent, qpn=self.qpn, kind=packet.kind,
             )
         cost = self.hca.cost
         if packet.kind == "send":

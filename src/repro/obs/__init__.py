@@ -1,0 +1,107 @@
+"""repro.obs — the flight recorder: spans, metrics, exporters.
+
+One :class:`Observability` object per observed :class:`~repro.core.job.
+Job` aggregates the two recording surfaces:
+
+* :attr:`Observability.spans` — a :class:`SpanTracer` capturing nested,
+  causally-linked spans across every substrate (SHMEM startup phases,
+  on-demand handshakes, QP state machines, PMI collectives, fault
+  hits);
+* :attr:`Observability.metrics` — a :class:`MetricsRegistry` of
+  counters/gauges/histograms, which also subsumes the legacy flat
+  ``Counters`` via :meth:`Observability.counters_facade`.
+
+Layers hold a plain ``obs`` attribute that is ``None`` unless the job
+was built with ``observe=True`` — instrumentation sites cost exactly
+one predicate check when observation is off (the ``KernelProfile.
+_prof`` discipline), which is what keeps the golden traces and the
+wall-clock bench untouched by this module's existence.
+
+Export with :meth:`Observability.chrome_trace` (Perfetto-loadable) or
+:meth:`Observability.flat_spans` (byte-stable golden text), or from the
+command line::
+
+    PYTHONPATH=src python -m repro.obs --npes 64 --out trace.json
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..sim import Simulator
+from .export import (
+    chrome_trace,
+    flat_dump,
+    span_descendants,
+    span_index,
+    validate_chrome_trace,
+)
+from .metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    CountersBridge,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+)
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "Observability",
+    "Span",
+    "SpanTracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CountersBridge",
+    "BUCKET_BOUNDS",
+    "bucket_index",
+    "chrome_trace",
+    "flat_dump",
+    "span_index",
+    "span_descendants",
+    "validate_chrome_trace",
+]
+
+
+class Observability:
+    """Span tracer + metrics registry for one observed job."""
+
+    def __init__(self, sim: Simulator, span_capacity: int = 1_000_000) -> None:
+        self.sim = sim
+        self.spans = SpanTracer(sim, capacity=span_capacity)
+        self.metrics = MetricsRegistry()
+
+    def counters_facade(self) -> CountersBridge:
+        """A ``sim.trace.Counters``-compatible view feeding the registry."""
+        return CountersBridge(self.metrics)
+
+    # ------------------------------------------------------------------
+    # results / export
+    # ------------------------------------------------------------------
+    def telemetry(self) -> Dict[str, Any]:
+        """The ``JobResult.telemetry`` payload: span stats + metric dump."""
+        open_spans = sum(1 for s in self.spans if s.end_us is None)
+        return {
+            "spans": {
+                "count": len(self.spans),
+                "dropped": self.spans.dropped,
+                "open": open_spans,
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def chrome_trace(self, label: str = "repro simulated job") -> Dict[str, Any]:
+        """Chrome trace-event JSON object (see :func:`export.chrome_trace`)."""
+        return chrome_trace(self.spans, label=label,
+                            dropped=self.spans.dropped)
+
+    def flat_spans(self) -> List[str]:
+        """Deterministic flat-text span dump for golden comparisons."""
+        lines = flat_dump(self.spans)
+        if self.spans.dropped:
+            lines.append(f"# dropped {self.spans.dropped} spans "
+                         f"(capacity {self.spans.capacity})")
+        return lines

@@ -1,0 +1,104 @@
+"""CLI: run an observed job and export its flight-recorder data.
+
+Used by the CI ``obs-smoke`` step and by hand::
+
+    PYTHONPATH=src python -m repro.obs --npes 64 --testbed B \
+        --out trace.json --flat spans.txt --validate --summary
+
+Open ``trace.json`` at https://ui.perfetto.dev (or ``chrome://tracing``)
+to browse one track per PE plus fabric/pmi/faults tracks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..apps.heat2d import Heat2D
+from ..apps.hello import HelloWorld
+from ..cluster import cluster_a, cluster_b
+from ..core import Job, RuntimeConfig
+from .export import validate_chrome_trace
+
+_APPS = {
+    "hello": lambda: HelloWorld(),
+    "heat2d": lambda: Heat2D(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run a simulated job with the flight recorder on and "
+                    "export spans/metrics.",
+    )
+    p.add_argument("--npes", type=int, default=64, help="number of PEs")
+    p.add_argument("--ppn", type=int, default=None, help="PEs per node")
+    p.add_argument("--testbed", choices=("A", "B"), default="B",
+                   help="paper testbed preset (default B)")
+    p.add_argument("--config", choices=("current", "proposed"),
+                   default="proposed",
+                   help="runtime design point (default proposed = on-demand)")
+    p.add_argument("--app", choices=sorted(_APPS), default="hello",
+                   help="application to run")
+    p.add_argument("--seed", type=int, default=None, help="override RNG seed")
+    p.add_argument("--out", default=None, metavar="TRACE.json",
+                   help="write Chrome trace-event JSON here")
+    p.add_argument("--flat", default=None, metavar="SPANS.txt",
+                   help="write the deterministic flat span dump here")
+    p.add_argument("--validate", action="store_true",
+                   help="schema-validate the Chrome trace before writing")
+    p.add_argument("--summary", action="store_true",
+                   help="print telemetry summary to stdout")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    config = (RuntimeConfig.current() if args.config == "current"
+              else RuntimeConfig.proposed())
+    if args.seed is not None:
+        config = config.evolve(seed=args.seed)
+    if args.testbed == "A":
+        cluster = cluster_a(args.npes, ppn=args.ppn or 8)
+    else:
+        cluster = cluster_b(args.npes, ppn=args.ppn or 16)
+
+    job = Job(npes=args.npes, config=config, cluster=cluster, observe=True)
+    result = job.run(_APPS[args.app]())
+
+    trace = job.obs.chrome_trace(
+        label=f"{args.app} npes={args.npes} {config.label}")
+    if args.validate:
+        stats = validate_chrome_trace(trace)
+        print(f"trace OK: {sum(stats.values())} events "
+              f"({', '.join(f'{k}={v}' for k, v in sorted(stats.items()))})")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(trace, fh, indent=None, separators=(",", ":"))
+        print(f"wrote {args.out}: {len(trace['traceEvents'])} trace events")
+    if args.flat:
+        with open(args.flat, "w") as fh:
+            fh.write("\n".join(job.obs.flat_spans()) + "\n")
+        print(f"wrote {args.flat}: {len(job.obs.spans)} spans")
+
+    if args.summary:
+        tele = result.telemetry or {}
+        print(json.dumps({
+            "npes": args.npes,
+            "config": config.label,
+            "wall_time_us": result.wall_time_us,
+            "spans": tele.get("spans"),
+            "counters": tele.get("metrics", {}).get("counters"),
+            "histograms": sorted(
+                tele.get("metrics", {}).get("histograms", {})),
+        }, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

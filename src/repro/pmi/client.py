@@ -50,6 +50,8 @@ class PMIClient:
         self._iag_epoch = 0
         self._ring_epoch = 0
         self._staged_since_fence = 0
+        #: Flight recorder (installed by ``Job(observe=True)``).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -72,42 +74,73 @@ class PMIClient:
         if self.daemon.staging.get(key) is not None or self.domain.kvs.contains(key):
             raise PMIError(f"PE {self.rank}: duplicate put of key {key!r}")
         self.domain.counters.add("pmi.puts")
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.start("pmi.put", f"pe{self.rank}", key=key)
         yield from self._local_call(self.domain.cost.pmi_server_cpu_us)
         self.daemon.staging[key] = value
         self._staged_since_fence += 1
+        if span is not None:
+            obs.spans.finish(span)
 
     def get(self, key: str) -> Generator:
         """PMI2_KVS_Get: read a committed key (fence must have run)."""
         self.domain.counters.add("pmi.gets")
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.start("pmi.get", f"pe{self.rank}", key=key)
         yield from self._local_call(self.domain.cost.pmi_server_cpu_us)
+        if span is not None:
+            obs.spans.finish(span)
         return self.domain.kvs.get(key)
 
     def get_many(self, keys: List[str]) -> Generator:
         """Batched get (one daemon request, per-entry parse cost)."""
         cost = self.domain.cost
         self.domain.counters.add("pmi.gets", len(keys))
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.start(
+                "pmi.get_many", f"pe{self.rank}", nkeys=len(keys)
+            )
         yield from self._local_call(
             cost.pmi_server_cpu_us + len(keys) * cost.pmi_entry_cpu_us
         )
+        if span is not None:
+            obs.spans.finish(span)
         return self.domain.kvs.get_many(keys)
 
     def fence(self) -> Generator:
         """PMI2_KVS_Fence: blocking commit + global synchronisation."""
-        handle = self.ifence()
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.start("pmi.fence", f"pe{self.rank}")
+        handle = self.ifence(_parent=span)
         yield handle.wait()
+        if span is not None:
+            obs.spans.finish(span)
+            obs.metrics.histogram("pmi.fence_us").observe(
+                span.end_us - span.start_us
+            )
 
     # ------------------------------------------------------------------
     # non-blocking PMIX extensions
     # ------------------------------------------------------------------
-    def ifence(self) -> PMIHandle:
+    def ifence(self, alias: Optional[str] = None,
+               _parent=None) -> PMIHandle:
         """PMIX_Ifence: returns immediately with a handle."""
         cid = f"fence:{self._fence_epoch}"
         self._fence_epoch += 1
         self.domain.counters.add("pmi.fences")
         staged, self._staged_since_fence = self._staged_since_fence, 0
-        return self._contribute(cid, staged)
+        return self._contribute(cid, staged, alias=alias or "pmi.ifence",
+                                parent=_parent)
 
-    def iallgather(self, value: Any) -> PMIHandle:
+    def iallgather(self, value: Any, alias: Optional[str] = None) -> PMIHandle:
         """PMIX_Iallgather: contribute ``value``; result maps rank->value.
 
         Fuses the Put-Fence-Get-all sequence into one operation with a
@@ -116,7 +149,7 @@ class PMIClient:
         cid = f"iag:{self._iag_epoch}"
         self._iag_epoch += 1
         self.domain.counters.add("pmi.iallgathers")
-        return self._contribute(cid, value)
+        return self._contribute(cid, value, alias=alias or "pmi.iallgather")
 
     def ring(self, value: Any) -> Generator:
         """PMIX_Ring: blocking neighbour exchange.
@@ -129,18 +162,34 @@ class PMIClient:
         cid = f"ring:{self._ring_epoch}"
         self._ring_epoch += 1
         self.domain.counters.add("pmi.rings")
-        handle = self._contribute(cid, value)
+        handle = self._contribute(cid, value, alias="pmi.ring")
         result = yield handle.wait()
         n = self.domain.cluster.npes
         left = result[(self.rank - 1) % n]
         right = result[(self.rank + 1) % n]
         return left, right
 
-    def _contribute(self, cid: str, value: Any) -> PMIHandle:
+    def _contribute(self, cid: str, value: Any, alias: str = "pmi.coll",
+                    parent=None) -> PMIHandle:
         sim = self.domain.sim
         cost = self.domain.cost
         daemon = self.daemon
         ev = sim.event()
+        obs = self.obs
+        if obs is not None:
+            # Span covers launch -> completion of this rank's share of
+            # the collective; closed from the event callback so it also
+            # measures non-blocking ops that complete in the background.
+            span = obs.spans.start(
+                alias, f"pe{self.rank}", parent=parent, cid=cid
+            )
+            spans = obs.spans
+
+            def _close(_w, _span=span, _spans=spans):
+                if _span.end_us is None:
+                    _spans.finish(_span)
+
+            ev.add_callback(_close)
         state = daemon.coll(cid)
         if state.result is not None:
             # Down phase already finished before this client asked.

@@ -18,12 +18,12 @@ __all__ = ["PMIX_Iallgather", "PMIX_Ifence", "PMIX_Ring", "PMIX_Wait"]
 
 def PMIX_Iallgather(client: PMIClient, value: Any) -> PMIHandle:
     """Non-blocking allgather of one value per rank."""
-    return client.iallgather(value)
+    return client.iallgather(value, alias="PMIX_Iallgather")
 
 
 def PMIX_Ifence(client: PMIClient) -> PMIHandle:
     """Non-blocking (split-phase) fence."""
-    return client.ifence()
+    return client.ifence(alias="PMIX_Ifence")
 
 
 def PMIX_Ring(client: PMIClient, value: Any):

@@ -132,6 +132,8 @@ class PMIDomain:
         self.nnodes = cluster.nnodes
         #: Optional fault injector (installed by ``Job(faults=...)``).
         self.faults: Optional["FaultInjector"] = None
+        #: Flight recorder (installed by ``Job(observe=True)``).
+        self.obs = None
         self.kvs = KeyValueStore()
         self.daemons = [
             Daemon(self, node, len(cluster.ranks_on_node(node)))
@@ -172,6 +174,11 @@ class PMIDomain:
         self.sim._schedule_at(arrival, on_arrival, None)
         self.counters.add("pmi.tree_messages")
         self.counters.add("pmi.tree_bytes", nbytes)
+        if self.obs is not None:
+            self.obs.spans.event(
+                "pmi.tree_send", "pmi",
+                src_node=src.node, dst_node=dst.node, nbytes=nbytes,
+            )
 
     # ------------------------------------------------------------------
     # Collective progress

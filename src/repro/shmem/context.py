@@ -51,6 +51,9 @@ class ShmemContext:
         self.heap_region = None
         self.segments = SegmentTable(rank)
         self.timer = PhaseTimer(sim)
+        #: Flight recorder (repro.obs.Observability); the Job installs
+        #: it when observing, None otherwise (one predicate per site).
+        self.obs = None
         self.initialized = False
         self.finalized = False
 

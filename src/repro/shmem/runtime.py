@@ -84,9 +84,21 @@ class ShmemPE(ShmemContext, RMAMixin, AtomicsMixin, CollectivesMixin,
         if self.initialized:
             raise ShmemError(f"PE {self.rank}: start_pes called twice")
         started = self.sim.now
+        obs = self.obs
+        root = None
+        if obs is not None:
+            # Root span for this PE's init; every PhaseTimer phase
+            # becomes a child span until the timer is disarmed.
+            root = obs.spans.start("shmem.start_pes", f"pe{self.rank}")
+            self.timer.observe(obs.spans, f"pe{self.rank}", parent=root)
         yield from run_startup(self)
         self.init_done_at = self.sim.now
         self.init_duration = self.sim.now - started
+        if root is not None:
+            self.timer.observe(None, "")
+            obs.spans.finish(root)
+            obs.metrics.histogram("shmem.start_pes_us").observe(
+                self.init_duration)
         self.counters.add("shmem.start_pes_done")
 
     def finalize(self) -> Generator:

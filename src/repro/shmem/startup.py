@@ -134,6 +134,14 @@ def _exchange_intranode_segments(pe: "ShmemPE") -> None:
 
 def _init_barriers(pe: "ShmemPE", count: int = 2) -> Generator:
     """The synchronisation the spec requires at the end of init."""
+    obs = pe.obs
+    span = None
+    if obs is not None:
+        span = obs.spans.start(
+            "shmem.init_barriers", f"pe{pe.rank}",
+            parent=pe.timer.current_span,
+            mode=pe.config.barrier_mode, count=count,
+        )
     if pe.config.barrier_mode == "global":
         for _ in range(count):
             yield from pe.barrier_all()
@@ -142,6 +150,8 @@ def _init_barriers(pe: "ShmemPE", count: int = 2) -> Generator:
             yield from pe.barrier_intranode()
     else:
         raise ConfigError(f"unknown barrier mode {pe.config.barrier_mode!r}")
+    if span is not None:
+        obs.spans.finish(span)
 
 
 # ----------------------------------------------------------------------
@@ -190,8 +200,17 @@ def _static_startup(pe: "ShmemPE") -> Generator:
 
 def _static_init_barriers(pe: "ShmemPE") -> Generator:
     """Static init always uses global barriers (that is the baseline)."""
+    obs = pe.obs
+    span = None
+    if obs is not None:
+        span = obs.spans.start(
+            "shmem.init_barriers", f"pe{pe.rank}",
+            parent=pe.timer.current_span, mode="global", count=2,
+        )
     for _ in range(2):
         yield from pe.barrier_all()
+    if span is not None:
+        obs.spans.finish(span)
 
 
 # ----------------------------------------------------------------------

@@ -58,24 +58,31 @@ def _callback_key(fn: Any) -> str:
 class KernelProfile:
     """Counts every callback the kernel schedules, split by path."""
 
-    __slots__ = ("sim", "heap_scheduled", "micro_scheduled", "by_module")
+    __slots__ = ("sim", "heap_scheduled", "micro_scheduled", "by_module",
+                 "_detached_pending")
 
     def __init__(self) -> None:
         self.sim: Optional[Simulator] = None
         self.heap_scheduled = 0
         self.micro_scheduled = 0
         self.by_module: Counter = Counter()
+        self._detached_pending: Optional[int] = None
 
     # -- lifecycle -----------------------------------------------------
     def attach(self, sim: Simulator) -> "KernelProfile":
         """Install on ``sim`` (replacing any previous profile)."""
         self.sim = sim
         sim._prof = self
+        self._detached_pending = None
         return self
 
     def detach(self) -> None:
-        if self.sim is not None and self.sim._prof is self:
-            self.sim._prof = None
+        if self.sim is not None:
+            # Freeze the pending count so events_dispatched stays
+            # truthful after we lose the simulator reference.
+            self._detached_pending = self.sim.pending_events
+            if self.sim._prof is self:
+                self.sim._prof = None
         self.sim = None
 
     # -- kernel hook ---------------------------------------------------
@@ -94,8 +101,15 @@ class KernelProfile:
 
     @property
     def events_dispatched(self) -> int:
-        """Scheduled minus still-pending (valid while attached)."""
-        pending = self.sim.pending_events if self.sim is not None else 0
+        """Scheduled minus still-pending.
+
+        Valid while attached *and* after :meth:`detach` — detach
+        freezes the pending count at the moment of detachment.
+        """
+        if self.sim is not None:
+            pending = self.sim.pending_events
+        else:
+            pending = self._detached_pending or 0
         return self.events_scheduled - pending
 
     def snapshot(self, top: int = 15) -> Dict[str, Any]:

@@ -91,3 +91,17 @@ class TestJob:
     def test_ondemand_endpoint_accounting(self):
         result = Job(npes=16, config=RuntimeConfig.proposed()).run(HelloWorld())
         assert result.resources.mean_endpoints < 5
+
+
+class TestReportGuards:
+    def test_startup_report_from_no_pes_rejected(self):
+        from repro.core.metrics import StartupReport
+
+        with pytest.raises(ConfigError, match="0 PEs"):
+            StartupReport.from_pes([])
+
+    def test_resource_report_from_no_pes_rejected(self):
+        from repro.core.metrics import ResourceReport
+
+        with pytest.raises(ConfigError, match="0 PEs"):
+            ResourceReport.from_pes([])

@@ -1,0 +1,197 @@
+"""Unit tests for the exporters and the trace-event validator."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Span,
+    chrome_trace,
+    flat_dump,
+    span_descendants,
+    span_index,
+    validate_chrome_trace,
+)
+
+
+def _spans():
+    """A small cross-actor tree: pe0 connect -> pe1 serve -> events."""
+    connect = Span(1, None, "conduit.connect", "pe0", 10.0, 50.0,
+                   {"peer": 1})
+    serve = Span(2, 1, "conduit.serve", "pe1", 20.0, 40.0, {"peer": 0})
+    transition = Span(3, 2, "qp.RTR", "pe1", 30.0, 30.0)
+    still_open = Span(4, 1, "conduit.reply_rx", "pe0", 45.0, None)
+    return [connect, serve, transition, still_open]
+
+
+class TestChromeTrace:
+    def test_metadata_tracks_and_labels(self):
+        trace = chrome_trace(_spans(), label="unit test")
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0] == {
+            "ph": "M", "pid": 1, "name": "process_name",
+            "args": {"name": "unit test"},
+        }
+        names = {e["args"]["name"]: e["tid"] for e in meta
+                 if e["name"] == "thread_name"}
+        assert names == {"pe0": 1, "pe1": 2}
+
+    def test_track_ordering_numeric_pes_then_special(self):
+        spans = [
+            Span(1, None, "x", "pe10", 0.0, 1.0),
+            Span(2, None, "x", "fabric", 0.0, 1.0),
+            Span(3, None, "x", "pe2", 0.0, 1.0),
+            Span(4, None, "x", "pmi", 0.0, 1.0),
+            Span(5, None, "x", "faults", 0.0, 1.0),
+            Span(6, None, "x", "weird", 0.0, 1.0),
+        ]
+        trace = chrome_trace(spans)
+        names = [e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("name") == "thread_name"]
+        assert names == ["pe2", "pe10", "fabric", "pmi", "faults", "weird"]
+
+    def test_closed_spans_are_X_events(self):
+        trace = chrome_trace(_spans())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        connect = next(e for e in xs if e["name"] == "conduit.connect")
+        assert connect["ts"] == 10.0 and connect["dur"] == 40.0
+        assert connect["args"]["span_id"] == 1
+        assert connect["args"]["peer"] == 1
+        assert "parent_id" not in connect["args"]
+        serve = next(e for e in xs if e["name"] == "conduit.serve")
+        assert serve["args"]["parent_id"] == 1
+
+    def test_instants_and_open_spans_are_i_events(self):
+        trace = chrome_trace(_spans())
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"qp.RTR", "conduit.reply_rx"}
+        open_ev = next(e for e in instants if e["name"] == "conduit.reply_rx")
+        assert open_ev["args"]["open"] is True
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_cross_actor_parents_become_flow_pairs(self):
+        trace = chrome_trace(_spans())
+        flows_s = {e["id"]: e for e in trace["traceEvents"] if e["ph"] == "s"}
+        flows_f = {e["id"]: e for e in trace["traceEvents"] if e["ph"] == "f"}
+        # serve (pe1 <- pe0 parent), qp.RTR is same-actor as its parent
+        # (no flow), reply_rx (pe0 <- pe0? no — parent is connect on
+        # pe0, same actor, no flow).  Only span 2 crosses actors.
+        assert set(flows_s) == set(flows_f) == {2}
+        s, f = flows_s[2], flows_f[2]
+        assert s["tid"] != f["tid"]  # parent track vs child track
+        assert s["ts"] == 20.0 and f["ts"] == 20.0
+
+    def test_flow_anchor_clamped_into_parent_interval(self):
+        parent = Span(1, None, "p", "pe0", 10.0, 20.0)
+        early = Span(2, 1, "c-early", "pe1", 5.0, 6.0)
+        late = Span(3, 1, "c-late", "pe1", 90.0, 95.0)
+        trace = chrome_trace([parent, early, late])
+        anchors = {e["id"]: e["ts"] for e in trace["traceEvents"]
+                   if e["ph"] == "s"}
+        assert anchors == {2: 10.0, 3: 20.0}
+
+    def test_other_data_reports_drop_count(self):
+        trace = chrome_trace(_spans(), dropped=7)
+        assert trace["otherData"] == {"spans": 4, "dropped_spans": 7}
+
+    def test_is_json_serialisable_and_self_validating(self):
+        trace = chrome_trace(_spans())
+        stats = validate_chrome_trace(json.dumps(trace))
+        assert stats["M"] == 5  # process_name + 2 per actor
+        assert stats["X"] == 2 and stats["i"] == 2
+        assert stats["s"] == stats["f"] == 1
+
+
+class TestFlatDump:
+    def test_exact_line_format(self):
+        spans = [
+            Span(1, None, "root", "pe0", 1.5, 4.0, {"b": 2, "a": "x"}),
+            Span(2, 1, "leaf", "fabric", 4.0, None),
+        ]
+        assert flat_dump(spans) == [
+            "1.5|4.0|pe0|root|1|-|a='x',b=2",
+            "4.0|open|fabric|leaf|2|1|-",
+        ]
+
+    def test_deterministic_attr_ordering(self):
+        a = Span(1, None, "n", "pe0", 0.0, 1.0, {"z": 1, "a": 2})
+        b = Span(1, None, "n", "pe0", 0.0, 1.0, {"a": 2, "z": 1})
+        assert flat_dump([a]) == flat_dump([b])
+
+
+class TestTreeHelpers:
+    def test_index_and_descendants_depth_first(self):
+        root = Span(1, None, "r", "pe0", 0.0, 9.0)
+        c1 = Span(2, 1, "c1", "pe0", 1.0, 2.0)
+        c2 = Span(3, 1, "c2", "pe1", 3.0, 4.0)
+        gc = Span(4, 2, "gc", "pe0", 1.5, 1.6)
+        other = Span(5, None, "other", "pe2", 0.0, 1.0)
+        children = span_index([root, c1, c2, gc, other])
+        assert children[None] == [root, other]
+        assert children[1] == [c1, c2]
+        assert span_descendants(root, children) == [c1, gc, c2]
+        assert span_descendants(other, children) == []
+
+
+class TestValidator:
+    def test_rejects_non_trace_objects(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_unknown_phase(self):
+        trace = {"traceEvents": [
+            {"ph": "Z", "pid": 1, "tid": 1, "ts": 0.0, "name": "x"},
+        ]}
+        with pytest.raises(ValueError, match="unknown or missing ph"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_missing_tid_and_ts(self):
+        with pytest.raises(ValueError, match="ts must be a number"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "i", "pid": 1, "tid": 1, "name": "x", "s": "t"},
+            ]})
+        with pytest.raises(ValueError, match="tid must be an int"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "i", "pid": 1, "ts": 0.0, "name": "x", "s": "t"},
+            ]})
+
+    def test_rejects_negative_ts_and_missing_dur(self):
+        with pytest.raises(ValueError, match="ts must be >= 0"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "i", "pid": 1, "tid": 1, "ts": -1.0, "name": "x"},
+            ]})
+        with pytest.raises(ValueError, match="needs dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "name": "x"},
+            ]})
+
+    def test_rejects_bad_instant_scope_and_metadata(self):
+        with pytest.raises(ValueError, match="instant scope"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "i", "pid": 1, "tid": 1, "ts": 0.0, "name": "x",
+                 "s": "zebra"},
+            ]})
+        with pytest.raises(ValueError, match="unknown metadata name"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "M", "pid": 1, "name": "nonsense", "args": {}},
+            ]})
+
+    def test_rejects_unmatched_flows(self):
+        trace = {"traceEvents": [
+            {"ph": "s", "pid": 1, "tid": 1, "ts": 0.0, "name": "x", "id": 9},
+        ]}
+        with pytest.raises(ValueError, match="unmatched flow"):
+            validate_chrome_trace(trace)
+
+    def test_accepts_json_string_input(self):
+        trace = json.dumps({"traceEvents": [
+            {"ph": "M", "pid": 1, "name": "process_name",
+             "args": {"name": "t"}},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 1.0,
+             "name": "x"},
+        ]})
+        assert validate_chrome_trace(trace) == {"M": 1, "X": 1}

@@ -1,0 +1,97 @@
+"""Job-level observability wiring: opt-in, passivity, telemetry shape."""
+
+from repro.apps import HelloWorld
+from repro.cluster import cluster_a
+from repro.core import Job, RuntimeConfig
+from repro.obs import CountersBridge, Observability
+from repro.sim import Counters
+
+
+def _job(observe=None, config=None, npes=8, ppn=2):
+    return Job(
+        npes=npes,
+        config=config or RuntimeConfig.proposed(),
+        cluster=cluster_a(npes, ppn=ppn),
+        observe=observe,
+    )
+
+
+def test_observation_is_off_by_default():
+    job = _job()
+    assert job.obs is None
+    assert type(job.counters) is Counters
+    result = job.run(HelloWorld())
+    assert result.telemetry is None
+
+
+def test_observe_true_installs_the_recorder_everywhere():
+    job = _job(observe=True)
+    assert isinstance(job.obs, Observability)
+    assert isinstance(job.counters, CountersBridge)
+    assert job.fabric.obs is job.obs
+    assert job.network.obs is job.obs
+    assert job.pmi_domain.obs is job.obs
+    assert all(h.obs is job.obs for h in job.hcas)
+    assert all(c.obs is job.obs for c in job.pmi)
+    assert all(p.obs is job.obs for p in job.pes)
+
+
+def test_config_observe_flag_and_arg_override():
+    cfg = RuntimeConfig.proposed().evolve(observe=True)
+    assert _job(config=cfg).obs is not None
+    # The explicit constructor argument wins over the config flag.
+    assert _job(observe=False, config=cfg).obs is None
+
+
+def test_telemetry_shape_and_expected_series():
+    job = _job(observe=True)
+    result = job.run(HelloWorld())
+    tele = result.telemetry
+    assert tele["spans"]["count"] > 0
+    assert tele["spans"]["dropped"] == 0
+    hists = tele["metrics"]["histograms"]
+    # On-demand startup on a 4-node cluster must record handshake RTTs,
+    # per-node QP-cache misses and the per-PE start_pes distribution.
+    assert hists["conduit.handshake_rtt_us"]["count"] > 0
+    assert hists["conduit.handshake_rtt_us"]["min"] > 0.0
+    assert hists["shmem.start_pes_us"]["count"] == job.npes
+    assert any(k.startswith("hca.qp_cache_miss_penalty_us") for k in hists)
+    # The flat counters ride through the façade into the registry.
+    assert tele["metrics"]["counters"]["conduit.connect_requests"] > 0
+    assert result.counters["conduit.connect_requests"] == (
+        tele["metrics"]["counters"]["conduit.connect_requests"]
+    )
+
+
+def test_expected_span_families_are_recorded():
+    job = _job(observe=True)
+    job.run(HelloWorld())
+    spans = job.obs.spans
+    assert len(spans.by_name("shmem.start_pes")) == job.npes
+    assert spans.by_name("conduit.connect")
+    assert spans.by_name("conduit.serve")
+    assert spans.by_name("pmi.iallgather")
+    assert spans.by_name("pmi.tree_send")
+    assert spans.by_name("rc.first_delivery")
+    # Every recorded span was closed by the end of the run except the
+    # PMI collective spans whose completion callback may still be
+    # pending — by job end even those are closed.
+    assert all(not s.open for s in spans)
+
+
+def test_fence_histogram_under_current_design():
+    job = _job(observe=True, config=RuntimeConfig.current())
+    result = job.run(HelloWorld())
+    hists = result.telemetry["metrics"]["histograms"]
+    assert hists["pmi.fence_us"]["count"] > 0
+
+
+def test_observation_is_passive():
+    # The recorder must not perturb the simulation: byte-identical
+    # wall clock and counters with and without it.
+    base = _job(observe=False).run(HelloWorld())
+    seen = _job(observe=True).run(HelloWorld())
+    assert seen.wall_time_us == base.wall_time_us
+    assert seen.app_done_us == base.app_done_us
+    assert seen.counters == base.counters
+    assert seen.startup.phase_means == base.startup.phase_means

@@ -1,0 +1,110 @@
+"""Unit tests for the span tracer: causality, lifecycle, capacity."""
+
+import pytest
+
+from repro.obs import Span, SpanTracer
+from repro.sim import Simulator, spawn
+
+
+def test_ids_are_monotonic_from_one():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    a = tr.start("a", "pe0")
+    b = tr.start("b", "pe0")
+    assert (a.span_id, b.span_id) == (1, 2)
+
+
+def test_span_times_follow_the_simulated_clock():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    holder = {}
+
+    def proc(sim):
+        yield 2.0
+        holder["s"] = tr.start("work", "pe0")
+        yield 3.0
+        tr.finish(holder["s"], outcome="ok")
+
+    spawn(sim, proc(sim), name="p")
+    sim.run()
+    span = holder["s"]
+    assert span.start_us == 2.0
+    assert span.end_us == 5.0
+    assert span.duration_us == 3.0
+    assert not span.open
+    assert span.attrs["outcome"] == "ok"
+
+
+def test_parent_accepts_span_or_raw_id():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    root = tr.start("root", "pe0")
+    by_span = tr.start("child", "pe1", parent=root)
+    by_id = tr.start("child", "pe2", parent=root.span_id)
+    assert by_span.parent_id == root.span_id
+    assert by_id.parent_id == root.span_id
+    assert tr.children_of(root) == [by_span, by_id]
+    assert tr.children_of(root.span_id) == [by_span, by_id]
+
+
+def test_double_finish_raises():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    s = tr.start("x", "pe0")
+    tr.finish(s)
+    with pytest.raises(ValueError):
+        tr.finish(s)
+
+
+def test_event_is_zero_duration_and_closed():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    ev = tr.event("qp.RTS", "pe0", kind="transition")
+    assert ev.end_us == ev.start_us
+    assert ev.duration_us == 0.0
+    assert not ev.open
+
+
+def test_open_span_reports_zero_duration():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    s = tr.start("x", "pe0")
+    assert s.open and s.duration_us == 0.0
+
+
+def test_capacity_drops_newest_and_counts():
+    sim = Simulator()
+    tr = SpanTracer(sim, capacity=2)
+    kept = [tr.start("a", "pe0"), tr.start("b", "pe0")]
+    dropped = tr.start("c", "pe0")
+    assert len(tr) == 2
+    assert list(tr) == kept
+    assert tr.dropped == 1
+    # The dropped span is detached but still usable: instrumentation
+    # code can finish it without special-casing.
+    assert dropped.span_id == 3
+    tr.finish(dropped)
+    assert not dropped.open
+    # ids keep advancing past dropped spans (no reuse).
+    assert tr.start("d", "pe0").span_id == 4
+    assert tr.dropped == 2
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        SpanTracer(Simulator(), capacity=0)
+
+
+def test_by_name_filters():
+    sim = Simulator()
+    tr = SpanTracer(sim)
+    tr.start("a", "pe0")
+    b1 = tr.start("b", "pe0")
+    b2 = tr.event("b", "pe1")
+    assert tr.by_name("b") == [b1, b2]
+    assert tr.by_name("zzz") == []
+
+
+def test_span_is_slotted():
+    with pytest.raises(AttributeError):
+        Span(1, None, "x", "pe0", 0.0).not_a_field = 1

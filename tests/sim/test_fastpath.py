@@ -279,3 +279,28 @@ def test_kernel_profile_detach_stops_counting():
     sim.call_soon(lambda: None)
     sim.run()
     assert prof.events_scheduled == 1
+
+
+def test_kernel_profile_detach_freezes_dispatched_count():
+    sim = Simulator()
+    prof = KernelProfile().attach(sim)
+    for _ in range(3):
+        sim.call_soon(lambda: None)
+    # Detached with all three callbacks still pending: dispatched must
+    # report 0 — and keep reporting 0 after the sim drains, because the
+    # pending count was frozen at detach time.
+    prof.detach()
+    assert prof.events_scheduled == 3
+    assert prof.events_dispatched == 0
+    sim.run()
+    assert prof.events_dispatched == 0
+    assert prof.snapshot()["events_dispatched"] == 0
+
+
+def test_kernel_profile_dispatched_tracks_pending_while_attached():
+    sim = Simulator()
+    prof = KernelProfile().attach(sim)
+    sim.call_soon(lambda: None)
+    assert prof.events_dispatched == 0
+    sim.run()
+    assert prof.events_dispatched == 1

@@ -86,6 +86,36 @@ class TestPhaseTimer:
         assert observed == [4.0]
         assert timer.breakdown()["x"] == 5.0
 
+    def test_observe_mirrors_phases_as_spans(self):
+        from repro.obs import SpanTracer
+
+        sim = Simulator()
+        timer = PhaseTimer(sim)
+        spans = SpanTracer(sim)
+        root = spans.start("root", "pe0")
+
+        def proc(sim):
+            timer.observe(spans, "pe0", parent=root)
+            timer.begin("alpha")
+            yield sim.timeout(5.0)
+            timer.begin("beta")
+            yield sim.timeout(3.0)
+            timer.stop()
+            timer.observe(None, "")  # disarm
+            timer.begin("gamma")
+            yield sim.timeout(1.0)
+            timer.stop()
+
+        spawn(sim, proc(sim))
+        sim.run()
+        mirrored = [s for s in spans if s.parent_id == root.span_id]
+        assert [(s.name, s.start_us, s.end_us) for s in mirrored] == [
+            ("alpha", 0.0, 5.0), ("beta", 5.0, 8.0),
+        ]
+        # Phases after disarm leave no spans; accumulation is unchanged.
+        assert spans.by_name("gamma") == []
+        assert timer.breakdown() == {"alpha": 5.0, "beta": 3.0, "gamma": 1.0}
+
 
 class TestTracer:
     def test_disabled_by_default(self):
@@ -119,3 +149,40 @@ class TestTracer:
             tr.log("a", "k", i)
         assert len(tr) == 10
         assert [r.detail for r in tr] == list(range(90, 100))
+
+    def test_evictions_are_counted_not_silent(self):
+        sim = Simulator()
+        tr = Tracer(sim, capacity=10, enabled=True)
+        for i in range(25):
+            tr.log("a", "k", i)
+        assert tr.dropped == 15
+        assert tr.truncated
+
+    def test_untruncated_log_has_no_header(self):
+        sim = Simulator()
+        tr = Tracer(sim, capacity=10, enabled=True)
+        tr.log("a", "k", 1)
+        assert tr.dropped == 0 and not tr.truncated
+        assert tr.formatted() == ["0.0|a|k|1"]
+
+    def test_formatted_announces_truncation(self):
+        sim = Simulator()
+        tr = Tracer(sim, capacity=3, enabled=True)
+        for i in range(5):
+            tr.log("a", "k", i)
+        lines = tr.formatted()
+        assert lines[0] == "# dropped 2 records (capacity 3)"
+        assert len(lines) == 4  # header + the 3 surviving records
+
+    def test_clear_resets_drop_count(self):
+        sim = Simulator()
+        tr = Tracer(sim, capacity=1, enabled=True)
+        tr.log("a", "k", 1)
+        tr.log("a", "k", 2)
+        assert tr.dropped == 1
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0 and not tr.truncated
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), capacity=0)
