@@ -24,16 +24,25 @@ side by side with the recorded pre-optimisation baseline numbers
 (min-of-5 on the same reference host, captured immediately before the
 fast-path kernel landed).
 
+A second suite, ``--sweep``, times the :mod:`repro.exec` sweep runner:
+the same deterministic job grid is executed serially (one in-process
+worker) and in parallel (process pool), the outputs are checked for
+byte-identity, and serial/parallel wall times plus the speedup land in
+``BENCH_sweep.json``.  On a single-core host the speedup is honestly
+~1x — the JSON records ``host_cpus`` so readers can tell.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_wallclock.py            # full
     PYTHONPATH=src python scripts/bench_wallclock.py --quick    # CI smoke
+    PYTHONPATH=src python scripts/bench_wallclock.py --sweep    # sweep suite
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -46,6 +55,7 @@ from repro.apps.heat2d import Heat2D  # noqa: E402
 from repro.bench.microbench import PutLatency  # noqa: E402
 from repro.cluster import cluster_a, cluster_b  # noqa: E402
 from repro.core import Job, RuntimeConfig  # noqa: E402
+from repro.exec import JobSpec, resolve_workers, run_sweep  # noqa: E402
 from repro.sim.profile import KernelProfile  # noqa: E402
 
 
@@ -138,16 +148,104 @@ def run_case(name: str, factory, repeats: int) -> dict:
     return entry
 
 
+# ----------------------------------------------------------------------
+# sweep suite — serial vs parallel execution of one deterministic grid
+# ----------------------------------------------------------------------
+def _sweep_grid(quick: bool):
+    sizes = [64, 128] if quick else [256, 512, 1024]
+    return [
+        JobSpec(app=HelloWorld(), npes=npes, config=config, testbed="B",
+                ppn=32)
+        for npes in sizes
+        for config in (RuntimeConfig.current(), RuntimeConfig.proposed())
+    ]
+
+
+def _sweep_fingerprint(specs, results) -> list:
+    """Canonical per-job summary; equality here means identical output."""
+    rows = []
+    for spec, result in zip(specs, results):
+        rows.append({
+            "key": spec.key,
+            "startup_mean_us": round(result.startup.mean_us, 6),
+            "sim_wall_time_us": round(result.wall_time_us, 6),
+            "connections": round(result.resources.mean_connections, 6),
+        })
+    return rows
+
+
+def run_sweep_suite(args) -> dict:
+    # REPRO_PAR=0 would silently force both legs serial; the suite's
+    # whole point is the serial/parallel comparison, so drop it.
+    if os.environ.pop("REPRO_PAR", None) is not None:
+        print("[sweep] ignoring REPRO_PAR for the serial/parallel A/B",
+              flush=True)
+    specs = _sweep_grid(args.quick)
+    workers = args.workers or resolve_workers(None, len(specs))
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    serial_times, parallel_times = [], []
+    serial_fp = parallel_fp = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        results = run_sweep(specs, max_workers=1)
+        serial_times.append(time.perf_counter() - t0)
+        serial_fp = _sweep_fingerprint(specs, results)
+
+        t0 = time.perf_counter()
+        results = run_sweep(specs, max_workers=workers)
+        parallel_times.append(time.perf_counter() - t0)
+        parallel_fp = _sweep_fingerprint(specs, results)
+
+    identical = serial_fp == parallel_fp
+    serial_s, parallel_s = min(serial_times), min(parallel_times)
+    report = {
+        "suite": "sweep-quick" if args.quick else "sweep",
+        "njobs": len(specs),
+        "workers": workers,
+        "host_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "repeats": repeats,
+        "serial_s_min": round(serial_s, 4),
+        "parallel_s_min": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2),
+        "identical_output": identical,
+        "jobs": serial_fp,
+    }
+    print(f"[sweep] {len(specs)} jobs, {workers} workers on "
+          f"{report['host_cpus']} cpus: serial {report['serial_s_min']}s, "
+          f"parallel {report['parallel_s_min']}s "
+          f"({report['speedup']}x), identical={identical}", flush=True)
+    if not identical:
+        raise SystemExit("[sweep] FATAL: parallel output differs from serial")
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small cases only (CI smoke test)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the serial-vs-parallel sweep suite instead "
+                             "(writes BENCH_sweep.json)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for --sweep (default: auto)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed repetitions per case (default 5, quick 2)")
     parser.add_argument("--output", default=None,
                         help="JSON output path (default BENCH_wallclock.json "
-                             "at the repo root; '-' to skip writing)")
+                             "or BENCH_sweep.json at the repo root; "
+                             "'-' to skip writing)")
     args = parser.parse_args(argv)
+
+    if args.sweep:
+        report = run_sweep_suite(args)
+        if args.output != "-":
+            out = (Path(args.output) if args.output
+                   else REPO_ROOT / "BENCH_sweep.json")
+            out.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"[bench] wrote {out}")
+        return 0
 
     cases = QUICK_CASES if args.quick else CASES
     repeats = args.repeats or (2 if args.quick else 5)

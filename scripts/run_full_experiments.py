@@ -4,10 +4,19 @@
 Writes rendered tables to ``benchmarks/results/full/``.  This is the
 long version of ``pytest benchmarks/`` (REPRO_BENCH_FULL=1); expect it
 to run for some minutes.
+
+Each experiment internally declares its job grid through
+``repro.exec.run_sweep``, so independent simulations fan out across
+cores.  Control worker count with ``REPRO_PAR`` (``0``/``1`` forces
+serial in-process execution, ``N`` uses N workers, unset auto-detects).
+
+Exits non-zero if any experiment fails; failures are collected and
+summarised rather than silently swallowed.
 """
 
 import sys
 import time
+import traceback
 from pathlib import Path
 
 from repro.bench.experiments import (
@@ -50,9 +59,17 @@ RUNS = [
 ]
 
 
-def main() -> None:
+def main() -> int:
     OUT.mkdir(parents=True, exist_ok=True)
     only = set(sys.argv[1:])
+    unknown = only - {name for name, _ in RUNS}
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(sorted(unknown))}")
+        print("available: " + ", ".join(name for name, _ in RUNS))
+        return 2
+    total_start = time.time()
+    done: list = []
+    failures: list = []
     for name, fn in RUNS:
         if only and name not in only:
             continue
@@ -60,15 +77,31 @@ def main() -> None:
         print(f"[{name}] running ...", flush=True)
         try:
             result = fn()
-        except Exception as exc:  # keep going; report at the end
+        except Exception as exc:
+            failures.append((name, exc))
+            traceback.print_exc()
             print(f"[{name}] FAILED: {exc!r}", flush=True)
             continue
+        elapsed = time.time() - start
         text = result.render()
         (OUT / f"{name}.txt").write_text(text)
         (OUT / f"{name}.csv").write_text(result.csv())
         print(text, flush=True)
-        print(f"[{name}] done in {time.time() - start:.0f}s", flush=True)
+        print(f"[{name}] done in {elapsed:.0f}s", flush=True)
+        done.append((name, elapsed))
+
+    print(f"\n=== summary ({time.time() - total_start:.0f}s total) ===")
+    for name, elapsed in done:
+        print(f"  ok      {name} ({elapsed:.0f}s)")
+    for name, exc in failures:
+        print(f"  FAILED  {name}: {exc!r}")
+    if failures:
+        print(f"{len(failures)} of {len(done) + len(failures)} "
+              "experiments failed")
+        return 1
+    print(f"all {len(done)} experiments passed")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

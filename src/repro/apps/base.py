@@ -25,5 +25,14 @@ class Application:
         raise NotImplementedError
         yield  # pragma: no cover
 
+    # Apps are plain parameter holders; value equality lets a pickled
+    # copy (sweep-pool JobSpecs cross a process boundary) compare equal
+    # to the original.
+    def __eq__(self, other: Any) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self), repr(sorted(self.__dict__.items()))))
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<{type(self).__name__} {self.name}>"

@@ -12,28 +12,35 @@ from typing import List, Optional, Sequence
 
 from ...apps import HelloWorld
 from ...core import RuntimeConfig
-from ..runner import ExperimentResult, run_job
+from ..runner import ExperimentResult, job_spec, run_jobs
 from ..tables import fmt_us
 
 FULL_SIZES = [256, 1024, 4096]
 QUICK_SIZES = [128, 512]
 
+MODES = ("global", "intranode")
+
 
 def run(sizes: Optional[Sequence[int]] = None, quick: bool = True
         ) -> ExperimentResult:
     sizes = list(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
-    rows: List[list] = []
-    raw = {}
-    for npes in sizes:
-        results = {}
-        for mode in ("global", "intranode"):
-            config = RuntimeConfig(
+    results = run_jobs(
+        job_spec(
+            HelloWorld(), npes,
+            RuntimeConfig(
                 connection_mode="ondemand", pmi_mode="nonblocking",
                 barrier_mode=mode,
-            )
-            results[mode] = run_job(HelloWorld(), npes, config, testbed="B")
-        g = results["global"]
-        i = results["intranode"]
+            ),
+            testbed="B",
+        )
+        for npes in sizes
+        for mode in MODES
+    )
+    rows: List[list] = []
+    raw = {}
+    for idx, npes in enumerate(sizes):
+        g = results[2 * idx]
+        i = results[2 * idx + 1]
         conns_g = g.resources.mean_connections
         conns_i = i.resources.mean_connections
         raw[npes] = {

@@ -15,7 +15,7 @@ from typing import Generator, List
 import numpy as np
 
 from ...apps.base import Application
-from ..runner import PROPOSED, ExperimentResult, run_job
+from ..runner import PROPOSED, ExperimentResult, job_spec, run_jobs
 
 
 class FirstTouchLatency(Application):
@@ -39,14 +39,14 @@ class FirstTouchLatency(Application):
 
 
 def run(npes: int = 16, quick: bool = True) -> ExperimentResult:
-    piggy = run_job(
-        FirstTouchLatency(), npes,
-        PROPOSED.evolve(piggyback_segments=True), testbed="A", ppn=2,
-    )
-    separate = run_job(
-        FirstTouchLatency(), npes,
-        PROPOSED.evolve(piggyback_segments=False), testbed="A", ppn=2,
-    )
+    piggy, separate = run_jobs([
+        job_spec(FirstTouchLatency(), npes,
+                 PROPOSED.evolve(piggyback_segments=True),
+                 testbed="A", ppn=2),
+        job_spec(FirstTouchLatency(), npes,
+                 PROPOSED.evolve(piggyback_segments=False),
+                 testbed="A", ppn=2),
+    ])
     a = float(np.mean(piggy.app_results[0]))
     b = float(np.mean(separate.app_results[0]))
     overhead = (b - a) / a * 100.0

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...apps import HelloWorld
 from ...core import RuntimeConfig
-from ..runner import ExperimentResult, run_job
+from ..runner import ExperimentResult, job_spec, run_jobs
 from ..tables import fmt_us
 
 FULL_SIZES = [512, 2048, 8192]
@@ -33,14 +33,21 @@ COMBOS = [
 def run(sizes: Optional[Sequence[int]] = None, quick: bool = True
         ) -> ExperimentResult:
     sizes = list(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
-    times: Dict[Tuple[str, str], Dict[int, float]] = {c: {} for c in COMBOS}
-    for (conn, pmi), npes in product(COMBOS, sizes):
-        config = RuntimeConfig(
-            connection_mode=conn,
-            pmi_mode=pmi,
-            barrier_mode="global" if conn == "static" else "intranode",
+    grid = list(product(COMBOS, sizes))
+    results = run_jobs(
+        job_spec(
+            HelloWorld(), npes,
+            RuntimeConfig(
+                connection_mode=conn,
+                pmi_mode=pmi,
+                barrier_mode="global" if conn == "static" else "intranode",
+            ),
+            testbed="B",
         )
-        result = run_job(HelloWorld(), npes, config, testbed="B")
+        for (conn, pmi), npes in grid
+    )
+    times: Dict[Tuple[str, str], Dict[int, float]] = {c: {} for c in COMBOS}
+    for ((conn, pmi), npes), result in zip(grid, results):
         times[(conn, pmi)][npes] = result.startup.mean_us
 
     rows: List[list] = []

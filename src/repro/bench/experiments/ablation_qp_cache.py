@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Sequence
 
-from ...cluster import CLUSTER_A_COST, Cluster
-from ...core import Job, RuntimeConfig
-from ..runner import ExperimentResult
+from ...core import RuntimeConfig
+from ..runner import ExperimentResult, JobSpec, run_jobs
 from ..tables import fmt_us
 from ...apps.base import Application
 
@@ -47,14 +46,18 @@ class ManyPeerTraffic(Application):
 def run(cache_sizes: Optional[Sequence[int]] = None, npes: int = 32,
         quick: bool = True) -> ExperimentResult:
     cache_sizes = list(cache_sizes) if cache_sizes else [8, 32, 128, 512]
+    config = RuntimeConfig.proposed(heap_backing_kb=256)
+    results = run_jobs(
+        JobSpec(
+            app=ManyPeerTraffic(peers=12, rounds=20), npes=npes,
+            config=config, testbed="A", ppn=4,
+            cost_overrides={"qp_cache_entries": entries},
+        )
+        for entries in cache_sizes
+    )
     rows: List[list] = []
     raw = {}
-    for entries in cache_sizes:
-        cost = CLUSTER_A_COST.evolve(qp_cache_entries=entries)
-        cluster = Cluster(npes=npes, ppn=4, cost=cost, name="ablation")
-        config = RuntimeConfig.proposed(heap_backing_kb=256)
-        job = Job(npes=npes, config=config, cluster=cluster)
-        result = job.run(ManyPeerTraffic(peers=12, rounds=20))
+    for entries, result in zip(cache_sizes, results):
         comm_us = max(result.app_results)
         misses = result.counters.get("hca.qp_cache_misses", 0)
         hits = result.counters.get("hca.qp_cache_hits", 0)

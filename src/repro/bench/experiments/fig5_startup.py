@@ -15,7 +15,13 @@ from typing import Dict, List, Optional, Sequence
 
 from ...apps import HelloWorld
 from ...shmem import STARTUP_PHASES
-from ..runner import CURRENT, PROPOSED, ExperimentResult, run_job
+from ..runner import (
+    CURRENT,
+    PROPOSED,
+    ExperimentResult,
+    job_spec,
+    run_jobs,
+)
 from ..tables import fmt_ratio, fmt_us
 
 FULL_SIZES = [128, 256, 512, 1024, 2048, 4096, 8192]
@@ -25,11 +31,16 @@ QUICK_SIZES = [128, 512, 2048]
 def run(sizes: Optional[Sequence[int]] = None, quick: bool = True
         ) -> ExperimentResult:
     sizes = list(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
+    specs = [
+        job_spec(HelloWorld(), npes, config, testbed="B")
+        for npes in sizes
+        for config in (CURRENT, PROPOSED)
+    ]
+    results = run_jobs(specs)
     rows: List[list] = []
     raw: Dict[int, Dict[str, object]] = {}
-    for npes in sizes:
-        current = run_job(HelloWorld(), npes, CURRENT, testbed="B")
-        proposed = run_job(HelloWorld(), npes, PROPOSED, testbed="B")
+    for i, npes in enumerate(sizes):
+        current, proposed = results[2 * i], results[2 * i + 1]
         raw[npes] = {"current": current, "proposed": proposed}
         init_ratio = current.startup.mean_us / proposed.startup.mean_us
         wall_ratio = current.wall_time_us / proposed.wall_time_us
@@ -61,10 +72,12 @@ def run_breakdown(sizes: Optional[Sequence[int]] = None, quick: bool = True
                   ) -> ExperimentResult:
     """Figure 5(b): phase breakdown of the *proposed* design."""
     sizes = list(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES[:-1])
+    results = run_jobs(
+        job_spec(HelloWorld(), npes, PROPOSED, testbed="B") for npes in sizes
+    )
     rows: List[list] = []
     raw = {}
-    for npes in sizes:
-        result = run_job(HelloWorld(), npes, PROPOSED, testbed="B")
+    for npes, result in zip(sizes, results):
         means = result.startup.phase_means
         raw[npes] = means
         rows.append(

@@ -12,7 +12,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..microbench import BarrierLatency, CollectiveLatency
-from ..runner import CURRENT, PROPOSED, ExperimentResult, run_job
+from ..runner import (
+    CURRENT,
+    PROPOSED,
+    ExperimentResult,
+    job_spec,
+    run_jobs,
+)
 from ..tables import fmt_us
 
 FULL_NPES = 512
@@ -29,15 +35,18 @@ def run(npes: Optional[int] = None, sizes: Optional[Sequence[int]] = None,
     rows: List[list] = []
     raw = {"collect": {}, "reduce": {}}
     backing = max(1024, (max(sizes) * (npes + 2)) // 1024 + 64)
-    for kind in ("collect", "reduce"):
-        static = run_job(
+    kinds = ("collect", "reduce")
+    results = run_jobs(
+        job_spec(
             CollectiveLatency(kind, sizes=sizes, iterations=iterations),
-            npes, CURRENT, testbed="A", heap_backing_kb=backing,
-        ).app_results[0]
-        ondemand = run_job(
-            CollectiveLatency(kind, sizes=sizes, iterations=iterations),
-            npes, PROPOSED, testbed="A", heap_backing_kb=backing,
-        ).app_results[0]
+            npes, config, testbed="A", heap_backing_kb=backing,
+        )
+        for kind in kinds
+        for config in (CURRENT, PROPOSED)
+    )
+    for i, kind in enumerate(kinds):
+        static = results[2 * i].app_results[0]
+        ondemand = results[2 * i + 1].app_results[0]
         for size in sizes:
             s, o = static[size], ondemand[size]
             diff = abs(o - s) / s * 100.0
@@ -61,15 +70,17 @@ def run_barrier(sizes: Optional[Sequence[int]] = None, iterations: int = 30,
     sizes = list(sizes) if sizes else (
         QUICK_BARRIER_SIZES if quick else FULL_BARRIER_SIZES
     )
+    results = run_jobs(
+        job_spec(BarrierLatency(iterations=iterations), npes, config,
+                 testbed="A")
+        for npes in sizes
+        for config in (CURRENT, PROPOSED)
+    )
     rows = []
     raw = {}
-    for npes in sizes:
-        s = run_job(
-            BarrierLatency(iterations=iterations), npes, CURRENT, testbed="A"
-        ).app_results[0]
-        o = run_job(
-            BarrierLatency(iterations=iterations), npes, PROPOSED, testbed="A"
-        ).app_results[0]
+    for i, npes in enumerate(sizes):
+        s = results[2 * i].app_results[0]
+        o = results[2 * i + 1].app_results[0]
         diff = abs(o - s) / s * 100.0
         raw[npes] = (s, o, diff)
         rows.append([npes, f"{s:.2f}", f"{o:.2f}", f"{diff:.2f}%"])

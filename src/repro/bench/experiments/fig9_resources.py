@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ...apps import Heat2D, NasBT, NasEP, NasMG, NasSP
 from ..regression import project
-from ..runner import CURRENT, PROPOSED, ExperimentResult, run_job
+from ..runner import PROPOSED, ExperimentResult, job_spec, run_jobs
 
 FULL_SIZES = [64, 256, 1024]
 QUICK_SIZES = [32, 128]
@@ -37,15 +37,17 @@ def run(sizes: Optional[Sequence[int]] = None, quick: bool = True
         ) -> ExperimentResult:
     sizes = list(sizes) if sizes else (QUICK_SIZES if quick else FULL_SIZES)
     config = PROPOSED.evolve(heap_backing_kb=2048)
+    grid = [(npes, name, app) for npes in sizes for name, app in _apps(npes)]
+    results = run_jobs(
+        job_spec(app, npes, config, testbed="A") for npes, name, app in grid
+    )
     per_app: Dict[str, Dict[int, float]] = {}
     reductions: Dict[str, float] = {}
-    for npes in sizes:
-        for name, app in _apps(npes):
-            result = run_job(app, npes, config, testbed="A")
-            endpoints = result.resources.mean_endpoints
-            per_app.setdefault(name, {})[npes] = endpoints
-            # Static design would create N endpoints per process.
-            reductions[name] = (1.0 - endpoints / npes) * 100.0
+    for (npes, name, _app), result in zip(grid, results):
+        endpoints = result.resources.mean_endpoints
+        per_app.setdefault(name, {})[npes] = endpoints
+        # Static design would create N endpoints per process.
+        reductions[name] = (1.0 - endpoints / npes) * 100.0
 
     rows: List[list] = []
     largest = max(sizes)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ...apps import Heat2D, NasBT, NasEP, NasMG, NasSP
-from ..runner import PROPOSED, ExperimentResult, run_job
+from ..runner import PROPOSED, ExperimentResult, job_spec, run_jobs
 
 
 def _apps(npes: int, nas_class: str):
@@ -40,8 +40,11 @@ def run(npes: int = 64, nas_class: str = "S", quick: bool = True
     rows: List[list] = []
     raw = {}
     config = PROPOSED.evolve(heap_backing_kb=2048)
-    for name, app in _apps(npes, nas_class):
-        result = run_job(app, npes, config, testbed="A")
+    apps = _apps(npes, nas_class)
+    results = run_jobs(
+        job_spec(app, npes, config, testbed="A") for _name, app in apps
+    )
+    for (name, _app), result in zip(apps, results):
         peers = result.resources.mean_active_peers
         raw[name] = peers
         rows.append([name, npes, f"{peers:.2f}"])

@@ -3,12 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional
 
-from ..cluster import Cluster, cluster_a, cluster_b
-from ..core import Job, JobResult, RuntimeConfig
+from ..core import JobResult, RuntimeConfig
+from ..exec import JobSpec, execute, run_sweep
 
-__all__ = ["ExperimentResult", "run_job", "CURRENT", "PROPOSED"]
+__all__ = [
+    "ExperimentResult",
+    "job_spec",
+    "run_job",
+    "run_jobs",
+    "JobSpec",
+    "CURRENT",
+    "PROPOSED",
+]
 
 #: The paper's two design points.
 CURRENT = RuntimeConfig.current()
@@ -41,6 +49,22 @@ class ExperimentResult:
         return rows_to_csv(self.columns, self.rows)
 
 
+def job_spec(
+    app,
+    npes: int,
+    config: RuntimeConfig,
+    testbed: str = "A",
+    ppn: Optional[int] = None,
+    observe: bool = False,
+    **config_overrides,
+) -> JobSpec:
+    """Describe one job on the named paper testbed (A or B)."""
+    if config_overrides:
+        config = config.evolve(**config_overrides)
+    return JobSpec(app=app, npes=npes, config=config, testbed=testbed,
+                   ppn=ppn, observe=observe)
+
+
 def run_job(
     app,
     npes: int,
@@ -50,19 +74,22 @@ def run_job(
     observe: bool = False,
     **config_overrides,
 ) -> JobResult:
-    """Run one job on the named paper testbed (A or B).
+    """Run one job on the named paper testbed (A or B), in-process.
 
     ``observe=True`` runs with the flight recorder on; the result then
     carries a ``telemetry`` section experiments can assert against.
     """
-    if config_overrides:
-        config = config.evolve(**config_overrides)
-    if testbed == "A":
-        cluster = cluster_a(npes, ppn=ppn or 8)
-    elif testbed == "B":
-        cluster = cluster_b(npes, ppn=ppn or 16)
-    else:
-        raise ValueError(f"unknown testbed {testbed!r}")
-    job = Job(npes=npes, config=config, cluster=cluster,
-              observe=observe or None)
-    return job.run(app)
+    return execute(job_spec(app, npes, config, testbed=testbed, ppn=ppn,
+                            observe=observe, **config_overrides))
+
+
+def run_jobs(specs: Iterable[JobSpec],
+             max_workers: Optional[int] = None) -> List[JobResult]:
+    """Run an experiment's job grid through the sweep pool.
+
+    Results come back in spec order (see ``repro.exec`` for the
+    determinism and failure contracts); ``REPRO_PAR`` controls the
+    worker count, with ``REPRO_PAR=0`` forcing the in-process serial
+    path.
+    """
+    return run_sweep(specs, max_workers=max_workers)

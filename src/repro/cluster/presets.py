@@ -13,6 +13,8 @@ so the *shapes* of the paper's figures reproduce (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .params import CostModel
 from .topology import Cluster
 
@@ -35,11 +37,17 @@ CLUSTER_B_COST = CostModel().evolve(
 )
 
 
+# Topology construction is O(npes) and read-only afterwards (rank→node
+# maps, per-node rank lists); a sweep revisits the same (npes, ppn)
+# points for every config/app combination, so preset clusters are
+# cached per process.  Jobs never mutate a Cluster.
+@lru_cache(maxsize=64)
 def cluster_a(npes: int, ppn: int = 8) -> Cluster:
     """Cluster-A sized for ``npes`` ranks (default fully subscribed)."""
     return Cluster(npes=npes, ppn=ppn, cost=CLUSTER_A_COST, name="Cluster-A")
 
 
+@lru_cache(maxsize=64)
 def cluster_b(npes: int, ppn: int = 16) -> Cluster:
     """Cluster-B (Stampede) sized for ``npes`` ranks."""
     return Cluster(npes=npes, ppn=ppn, cost=CLUSTER_B_COST, name="Cluster-B")

@@ -76,21 +76,35 @@ class RuntimeConfig:
             )
 
     # -- the paper's two corners ------------------------------------------
+    # The unmodified corners are process-wide singletons: RuntimeConfig
+    # is frozen, and sweep workers request the same design point for
+    # every grid cell (validation in __post_init__ is not free).
+    _current_singleton = None
+    _proposed_singleton = None
+
     @classmethod
     def current(cls, **overrides) -> "RuntimeConfig":
         """The baseline: static connections, blocking PMI, global barriers."""
-        return cls(
-            connection_mode="static", pmi_mode="blocking",
-            barrier_mode="global",
-        ).evolve(**overrides)
+        base = cls._current_singleton
+        if base is None or base.__class__ is not cls:
+            base = cls(
+                connection_mode="static", pmi_mode="blocking",
+                barrier_mode="global",
+            )
+            cls._current_singleton = base
+        return base.evolve(**overrides) if overrides else base
 
     @classmethod
     def proposed(cls, **overrides) -> "RuntimeConfig":
         """The paper's design: on-demand + PMIX_Iallgather + intra-node."""
-        return cls(
-            connection_mode="ondemand", pmi_mode="nonblocking",
-            barrier_mode="intranode",
-        ).evolve(**overrides)
+        base = cls._proposed_singleton
+        if base is None or base.__class__ is not cls:
+            base = cls(
+                connection_mode="ondemand", pmi_mode="nonblocking",
+                barrier_mode="intranode",
+            )
+            cls._proposed_singleton = base
+        return base.evolve(**overrides) if overrides else base
 
     # Friendly aliases.
     static = current

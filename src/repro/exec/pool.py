@@ -1,0 +1,298 @@
+"""The sweep pool: fan independent simulations out across cores.
+
+Every experiment point — one ``(app, npes, config, testbed)`` tuple —
+is a complete, self-seeded discrete-event simulation: it builds its own
+:class:`~repro.sim.engine.Simulator` and draws every random number from
+``RngRegistry(config.seed)``.  Two runs of the same :class:`JobSpec`
+therefore produce identical :class:`~repro.core.metrics.JobResult`\\ s
+*wherever they run*, which makes the paper sweeps (Figure 5's seven job
+sizes x two designs, Figure 9's app x size grid, the ablations)
+embarrassingly parallel.
+
+Determinism contract
+--------------------
+* A :class:`JobSpec` fully determines its result (no wall-clock, no
+  global state, no cross-job RNG).
+* :func:`run_sweep` returns results **in spec order** — position ``i``
+  of the output is the result of ``specs[i]`` regardless of which
+  worker finished first.
+* The serial fallback (``REPRO_PAR=0``, ``max_workers=1``, a single
+  spec, or a single-core host) runs the same ``execute`` function
+  in-process; parallel and serial output are byte-identical.
+
+Failure contract
+----------------
+Any exception inside a job — in the worker or on the serial path — is
+re-raised as :class:`SweepError` carrying the failing :class:`JobSpec`
+(``.spec``) and the original exception (``.cause`` / ``__cause__``).
+A worker process dying outright (segfault, OOM-kill) surfaces the
+pool's :class:`BrokenProcessPool` the same way.
+
+Worker model
+------------
+Workers are plain ``ProcessPoolExecutor`` processes.  On platforms with
+``fork`` they inherit the parent's already-imported modules (warm
+start); elsewhere an initializer pre-imports the heavy packages once
+per worker so per-job import cost is zero either way.  Clusters and
+config singletons are cached per process (see ``repro.cluster.presets``
+and ``RuntimeConfig.current``), so a worker running many points of one
+sweep builds each distinct ``(npes, ppn)`` topology once.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+from ..faults import FaultPlan
+
+__all__ = ["JobSpec", "SweepError", "execute", "resolve_workers", "run_sweep"]
+
+_TESTBEDS = ("A", "B")
+
+#: Jobs at or above this size leave enough cyclic garbage (generators,
+#: waitables, conduit machinery) that sweeping it eagerly after the run
+#: is a clear win: without the collect, every later job in the same
+#: process pays progressively more for generational GC over the dead
+#: machine (measured: a 2048-PE static point runs ~15% slower when it
+#: follows an uncollected 4096-PE one).
+_GC_SWEEP_NPES = 256
+
+
+class SweepError(RuntimeError):
+    """A sweep job failed; carries the spec and the original exception."""
+
+    def __init__(self, spec: "JobSpec", cause: BaseException) -> None:
+        super().__init__(f"sweep job {spec.key} failed: {cause!r}")
+        self.spec = spec
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One picklable experiment point.
+
+    ``config`` (with ``seed`` folded in) plus the cluster description
+    (``testbed``/``ppn``/``cost_overrides``) and the ``app`` instance
+    fully determine the simulation.  App instances must be picklable
+    module-level classes holding plain parameters — every app in
+    ``repro.apps`` and ``repro.bench.microbench`` qualifies.
+    """
+
+    app: Any
+    npes: int
+    config: Any  # RuntimeConfig (kept untyped to avoid an import cycle)
+    testbed: str = "A"
+    ppn: Optional[int] = None
+    #: Override ``config.seed`` for this point (ablation sweeps vary the
+    #: seed without re-evolving the whole config).
+    seed: Optional[int] = None
+    observe: bool = False
+    faults: Optional[FaultPlan] = None
+    #: CostModel fields to evolve on top of the testbed's preset (e.g.
+    #: ``{"qp_cache_entries": 8}`` for ablation D5).  Normalised to a
+    #: sorted tuple so specs stay hashable.
+    cost_overrides: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: Human-readable tag used in error messages and progress output.
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.npes < 1:
+            raise ConfigError(f"JobSpec.npes must be >= 1, got {self.npes}")
+        if self.testbed not in _TESTBEDS:
+            raise ConfigError(
+                f"JobSpec.testbed must be one of {_TESTBEDS}, "
+                f"got {self.testbed!r}"
+            )
+        if self.ppn is not None and self.ppn < 1:
+            raise ConfigError(f"JobSpec.ppn must be >= 1, got {self.ppn}")
+        overrides = self.cost_overrides
+        if isinstance(overrides, Mapping):
+            object.__setattr__(
+                self, "cost_overrides", tuple(sorted(overrides.items()))
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable identification string (for errors / progress lines)."""
+        if self.label:
+            return self.label
+        app_name = getattr(self.app, "name", type(self.app).__name__)
+        parts = [app_name, f"n{self.npes}", self.config.label,
+                 f"tb{self.testbed}"]
+        if self.ppn is not None:
+            parts.append(f"ppn{self.ppn}")
+        if self.seed is not None:
+            parts.append(f"seed{self.seed}")
+        if self.observe:
+            parts.append("obs")
+        return "-".join(parts)
+
+
+@lru_cache(maxsize=32)
+def _custom_cluster(testbed: str, npes: int, ppn: int,
+                    overrides: Tuple[Tuple[str, Any], ...]):
+    from ..cluster import CLUSTER_A_COST, CLUSTER_B_COST
+    from ..cluster.topology import Cluster
+
+    base = CLUSTER_A_COST if testbed == "A" else CLUSTER_B_COST
+    return Cluster(npes=npes, ppn=ppn, cost=base.evolve(**dict(overrides)),
+                   name=f"Cluster-{testbed}*")
+
+
+def _cluster_for(spec: JobSpec):
+    from ..cluster import cluster_a, cluster_b
+
+    ppn = spec.ppn or (8 if spec.testbed == "A" else 16)
+    if spec.cost_overrides:
+        return _custom_cluster(spec.testbed, spec.npes, ppn,
+                               spec.cost_overrides)
+    factory = cluster_a if spec.testbed == "A" else cluster_b
+    return factory(spec.npes, ppn=ppn)
+
+
+def execute(spec: JobSpec) -> Any:
+    """Run one spec to completion in this process; returns a JobResult.
+
+    This is the single code path both the serial fallback and the pool
+    workers run — parallel == serial by construction.
+    """
+    from ..core import Job
+
+    config = spec.config
+    if spec.seed is not None:
+        config = config.evolve(seed=spec.seed)
+    job = Job(
+        npes=spec.npes,
+        config=config,
+        cluster=_cluster_for(spec),
+        faults=spec.faults,
+        observe=spec.observe or None,
+    )
+    try:
+        return job.run(spec.app)
+    finally:
+        if spec.npes >= _GC_SWEEP_NPES:
+            del job
+            gc.collect()
+
+
+# ----------------------------------------------------------------------
+# worker-count policy
+# ----------------------------------------------------------------------
+def resolve_workers(max_workers: Optional[int] = None,
+                    njobs: Optional[int] = None) -> int:
+    """Pick the worker count.
+
+    Policy: ``REPRO_PAR=0`` (or ``1``) is a global kill switch forcing
+    the serial path even when the caller asked for workers (single-core
+    CI, debugging).  ``REPRO_PAR=N`` sets the default when the caller
+    passed no explicit ``max_workers``.  With neither, auto-detect from
+    CPU affinity.  The count is clamped to the number of jobs.
+    """
+    env = os.environ.get("REPRO_PAR", "").strip()
+    if env:
+        try:
+            env_workers = int(env)
+        except ValueError:
+            raise ConfigError(f"REPRO_PAR must be an integer, got {env!r}")
+        if env_workers <= 1:
+            return 1
+        if max_workers is None:
+            max_workers = env_workers
+    if max_workers is None:
+        try:
+            max_workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            max_workers = os.cpu_count() or 1
+    if njobs is not None:
+        max_workers = min(max_workers, njobs)
+    return max(1, max_workers)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+def _warm_worker() -> None:
+    """Per-worker initializer: pre-import the heavy packages once so no
+    job pays import cost (a no-op under ``fork``, where the worker
+    inherits the parent's modules)."""
+    import repro.apps  # noqa: F401
+    import repro.bench.microbench  # noqa: F401
+    import repro.core  # noqa: F401
+
+
+def _run_serial(specs: List[JobSpec],
+                progress: Optional[Callable] = None) -> List[Any]:
+    results = []
+    for i, spec in enumerate(specs):
+        try:
+            results.append(execute(spec))
+        except Exception as exc:
+            raise SweepError(spec, exc) from exc
+        if progress is not None:
+            progress(spec, i + 1, len(specs))
+    return results
+
+
+def _run_parallel(specs: List[JobSpec], workers: int,
+                  progress: Optional[Callable] = None) -> List[Any]:
+    import multiprocessing
+
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Warm-start workers: they inherit every module the parent has
+        # already imported instead of re-importing under spawn.
+        mp_context = multiprocessing.get_context("fork")
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=mp_context,
+        initializer=_warm_worker,
+    )
+    try:
+        # Results are keyed by submission position — completion order
+        # never matters, so the merge is deterministic by construction.
+        futures = [pool.submit(execute, spec) for spec in specs]
+        results = []
+        for i, (spec, future) in enumerate(zip(specs, futures)):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                # The worker died without raising (crash/OOM-kill);
+                # attach the first spec whose result we could not get.
+                raise SweepError(spec, exc) from exc
+            except Exception as exc:
+                for pending in futures[i + 1:]:
+                    pending.cancel()
+                raise SweepError(spec, exc) from exc
+            if progress is not None:
+                progress(spec, i + 1, len(specs))
+        return results
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_sweep(specs: Iterable[JobSpec],
+              max_workers: Optional[int] = None,
+              progress: Optional[Callable] = None) -> List[Any]:
+    """Run every spec; returns JobResults in spec order.
+
+    ``progress``, when given, is called as ``progress(spec, done,
+    total)`` after each job completes (in spec order).
+    """
+    specs = list(specs)
+    for spec in specs:
+        if not isinstance(spec, JobSpec):
+            raise ConfigError(f"run_sweep expects JobSpecs, got {spec!r}")
+    if not specs:
+        return []
+    workers = resolve_workers(max_workers, njobs=len(specs))
+    if workers <= 1:
+        return _run_serial(specs, progress)
+    return _run_parallel(specs, workers, progress)

@@ -113,6 +113,29 @@ class PMIClient:
             obs.spans.finish(span)
         return self.domain.kvs.get_many(keys)
 
+    def get_range(self, prefix: str, count: int) -> Generator:
+        """Batched get of ``prefix0 .. prefix{count-1}``.
+
+        Timing, counters and spans are identical to :meth:`get_many`
+        over the same keys (one daemon request, per-entry parse cost);
+        the parsed value list is shared job-wide via the KVS memo so a
+        full-directory fetch costs O(N) host work once, not O(N) per PE.
+        """
+        cost = self.domain.cost
+        self.domain.counters.add("pmi.gets", count)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.spans.start(
+                "pmi.get_many", f"pe{self.rank}", nkeys=count
+            )
+        yield from self._local_call(
+            cost.pmi_server_cpu_us + count * cost.pmi_entry_cpu_us
+        )
+        if span is not None:
+            obs.spans.finish(span)
+        return self.domain.kvs.get_range(prefix, count)
+
     def fence(self) -> Generator:
         """PMI2_KVS_Fence: blocking commit + global synchronisation."""
         obs = self.obs

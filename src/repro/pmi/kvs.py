@@ -21,6 +21,9 @@ class KeyValueStore:
     def __init__(self) -> None:
         self._data: Dict[str, Any] = {}
         self.epoch = 0
+        #: Single-slot memo for :meth:`get_range` (see below).
+        self._range_key: Optional[tuple] = None
+        self._range_values: Optional[List[Any]] = None
 
     def commit(self, staged: Dict[str, Any]) -> None:
         """Merge a batch of staged puts; bumps the commit epoch."""
@@ -38,6 +41,24 @@ class KeyValueStore:
 
     def get_many(self, keys: Iterable[str]) -> List[Any]:
         return [self.get(k) for k in keys]
+
+    def get_range(self, prefix: str, count: int) -> List[Any]:
+        """Values of ``f"{prefix}{i}"`` for ``i in range(count)``.
+
+        The job-wide endpoint directory is fetched with exactly this
+        shape by *every* PE after the same fence — building the key
+        list and probing the dict N times per PE is O(N^2) host work
+        with no timing meaning (the per-entry parse cost is charged by
+        the PMI client either way).  A single-slot memo keyed by
+        ``(prefix, count, epoch)`` makes it O(N) per job; callers must
+        treat the returned list as read-only.
+        """
+        memo_key = (prefix, count, self.epoch)
+        if self._range_key == memo_key:
+            return self._range_values
+        values = [self.get(f"{prefix}{i}") for i in range(count)]
+        self._range_key, self._range_values = memo_key, values
+        return values
 
     def contains(self, key: str) -> bool:
         return key in self._data

@@ -80,7 +80,7 @@ def _pmi_exchange(pe: "ShmemPE") -> Generator:
         yield from pe.pmi.fence()
         # Per-PE retrieval time is charged here; the parsed directory
         # object itself is shared job-wide (identical on every PE).
-        yield from pe.pmi.get_many([f"ud-{r}" for r in range(pe.npes)])
+        yield from pe.pmi.get_range("ud-", pe.npes)
         cache = pe.conduit.network.shared_cache
         directory = cache.get("ud_directory")
         if directory is None:

@@ -31,12 +31,23 @@ __all__ = ["Process", "spawn", "ProcessFailure"]
 
 
 class ProcessFailure(RuntimeError):
-    """Wraps an exception that escaped a simulated process."""
+    """Wraps an exception that escaped a simulated process.
 
-    def __init__(self, process: "Process", cause: BaseException) -> None:
-        super().__init__(f"process {process.name!r} failed: {cause!r}")
+    ``process`` is the live :class:`Process` when raised in-process; a
+    copy that crossed a process boundary (sweep-pool workers) carries
+    only :attr:`process_name` — the generator inside a Process cannot
+    pickle.
+    """
+
+    def __init__(self, process, cause: BaseException) -> None:
+        name = process if isinstance(process, str) else process.name
+        super().__init__(f"process {name!r} failed: {cause!r}")
         self.process = process
+        self.process_name = name
         self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.process_name, self.cause))
 
 
 class Process(Waitable):
@@ -65,22 +76,69 @@ class Process(Waitable):
 
     # -- stepping ------------------------------------------------------
     def _step_value(self, send_value: Any) -> None:
-        """Resume the generator with a value (the hot continuation)."""
-        try:
-            target = self.gen.send(send_value)
-        except StopIteration as stop:
-            self._trigger(value=stop.value)
+        """Resume the generator with a value (the hot continuation).
+
+        The body is a **trampoline**: when the generator's next wait is
+        already satisfied (an elapsed zero-delay or an
+        already-triggered waitable) *and* nothing else is runnable at
+        the current instant, the loop resumes the generator directly
+        instead of bouncing the continuation through the event queue.
+        The guard — empty microtask queue, no heap event at ``now`` —
+        means the queued continuation would have been the very next
+        dispatch anyway, so observable ordering is exactly the queue's
+        (the golden-trace test pins this down); only the queue traffic
+        disappears.
+        """
+        sim = self.sim
+        gen_send = self.gen.send
+        while True:
+            try:
+                target = gen_send(send_value)
+            except StopIteration as stop:
+                self._trigger(value=stop.value)
+                return
+            except BaseException as exc:  # process died
+                self._died(exc)
+                return
+            if target.__class__ is float:
+                # Plain-delay sleep: no Timeout object, no callback hop.
+                # Deliberately restricted to ``float`` (ints stay an
+                # error) so a stray non-waitable yield is still caught.
+                if target > 0:
+                    sim._schedule_at(sim.now + target, self._step_value, None)
+                    return
+                if target == 0:
+                    heap = sim._heap
+                    if not sim._micro and (not heap or heap[0][0] > sim.now):
+                        send_value = None
+                        continue  # trampoline: nothing can interleave
+                    sim._call_soon(self._step_value, None)
+                    return
+                self._step_throw(ValueError(f"negative timeout delay: {target}"))
+                return
+            if isinstance(target, Waitable):
+                if target._triggered:
+                    # Fast path: the wait is already over (message in
+                    # the mailbox, semaphore free, barrier released...).
+                    exc = target._exc
+                    heap = sim._heap
+                    if not sim._micro and (not heap or heap[0][0] > sim.now):
+                        if exc is None:
+                            send_value = target._value
+                            continue  # trampoline
+                        self._step_throw(exc)
+                        return
+                    # Something else runs first: keep queue semantics,
+                    # but skip the _on_target indirection.
+                    if exc is None:
+                        sim._call_soon(self._step_value, target._value)
+                    else:
+                        sim._call_soon(self._step_throw, exc)
+                    return
+                target.add_callback(self._on_target)
+                return
+            self._yielded_garbage(target)
             return
-        except BaseException as exc:  # process died
-            self._died(exc)
-            return
-        if target.__class__ is float and target > 0:
-            # Inlined copy of the _wait_on sleep fast path: a positive
-            # plain-float yield is the single hottest resume outcome.
-            sim = self.sim
-            sim._schedule_at(sim.now + target, self._step_value, None)
-            return
-        self._wait_on(target)
 
     def _step_throw(self, throw_exc: BaseException) -> None:
         """Resume the generator by throwing a waitable's failure into it."""
@@ -95,6 +153,7 @@ class Process(Waitable):
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
+        """Cold-path wait registration (used after a throw-resume)."""
         if target.__class__ is float:
             # Plain-delay sleep: no Timeout object, no callback hop —
             # the continuation is scheduled directly.  Deliberately
@@ -108,8 +167,18 @@ class Process(Waitable):
                 self._step_throw(ValueError(f"negative timeout delay: {target}"))
             return
         if isinstance(target, Waitable):
+            if target._triggered:
+                exc = target._exc
+                if exc is None:
+                    self.sim._call_soon(self._step_value, target._value)
+                else:
+                    self.sim._call_soon(self._step_throw, exc)
+                return
             target.add_callback(self._on_target)
             return
+        self._yielded_garbage(target)
+
+    def _yielded_garbage(self, target: Any) -> None:
         exc = SimulationError(
             f"process {self.name!r} yielded non-waitable {target!r}"
         )
