@@ -56,13 +56,14 @@ def job_spec(
     testbed: str = "A",
     ppn: Optional[int] = None,
     observe: bool = False,
+    check=None,
     **config_overrides,
 ) -> JobSpec:
     """Describe one job on the named paper testbed (A or B)."""
     if config_overrides:
         config = config.evolve(**config_overrides)
     return JobSpec(app=app, npes=npes, config=config, testbed=testbed,
-                   ppn=ppn, observe=observe)
+                   ppn=ppn, observe=observe, check=check)
 
 
 def run_job(
@@ -72,15 +73,20 @@ def run_job(
     testbed: str = "A",
     ppn: Optional[int] = None,
     observe: bool = False,
+    check=None,
     **config_overrides,
 ) -> JobResult:
     """Run one job on the named paper testbed (A or B), in-process.
 
     ``observe=True`` runs with the flight recorder on; the result then
     carries a ``telemetry`` section experiments can assert against.
+    ``check`` (a :class:`repro.check.CheckPlan`, config dict, or
+    ``True``) arms the invariant sanitizer; the result then carries a
+    ``check`` report.
     """
     return execute(job_spec(app, npes, config, testbed=testbed, ppn=ppn,
-                            observe=observe, **config_overrides))
+                            observe=observe, check=check,
+                            **config_overrides))
 
 
 def run_jobs(specs: Iterable[JobSpec],

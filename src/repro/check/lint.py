@@ -1,0 +1,219 @@
+"""Static determinism lint for simulation code.
+
+AST-based checks for the bug class that breaks replay and the
+parallel == serial byte-identity guarantee:
+
+``set-iteration``
+    Iterating a ``set`` literal/comprehension/constructor (``for x in
+    set(...)``, ``{... for ...}``, ``set(xs) - set(ys)`` in a loop
+    header) — CPython set order depends on insertion/hash history, so
+    any event ordering fed from it is unstable.  Use
+    ``dict.fromkeys(xs)`` for order-stable dedup or ``sorted(...)``.
+
+``dict-keys-iteration``
+    ``for k in d.keys()`` — redundant at best; when ``d`` was built
+    from unordered inputs the explicit ``.keys()`` call usually marks
+    a spot where ordering was never thought about.  Iterate the dict
+    directly (insertion-ordered) or ``sorted(d)``.
+
+``wall-clock``
+    ``time.time()`` / ``perf_counter`` / ``datetime.now`` etc. inside
+    sim paths — simulated code must read :data:`sim.now`.
+
+``random-module``
+    The stdlib :mod:`random` module (global, unseeded-per-run state).
+    Sim code draws from the job's substreamed ``numpy`` Generators.
+
+Suppress a deliberate use with ``# lint: allow-<rule>`` on the line.
+
+Usage::
+
+    python -m repro.check.lint src/repro [more paths...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+__all__ = ["Finding", "lint_source", "lint_paths", "main"]
+
+_WALL_CLOCK_TIME = {
+    "time", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "time_ns", "clock_gettime",
+}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Does this expression produce a set (unordered iteration)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: s | t, s & t, s - t, s ^ t — flag only when a
+        # side is itself recognisably a set, to avoid integer math.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_dict_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: List[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.findings: List[Finding] = []
+
+    # -- helpers ------------------------------------------------------
+    def _suppressed(self, line: int, rule: str) -> bool:
+        if 1 <= line <= len(self.lines):
+            return f"lint: allow-{rule}" in self.lines[line - 1]
+        return False
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if not self._suppressed(line, rule):
+            self.findings.append(Finding(self.path, line, rule, message))
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if _is_set_expr(iter_node):
+            self._flag(
+                iter_node, "set-iteration",
+                "iterating a set is hash-order dependent; use "
+                "dict.fromkeys(...) or sorted(...)",
+            )
+        elif _is_dict_keys_call(iter_node):
+            self._flag(
+                iter_node, "dict-keys-iteration",
+                "iterate the dict directly (insertion-ordered) or "
+                "sorted(d)",
+            )
+
+    # -- iteration sites ----------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- wall clock / random ------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            mod, attr = func.value.id, func.attr
+            if mod == "time" and attr in _WALL_CLOCK_TIME:
+                self._flag(
+                    node, "wall-clock",
+                    f"time.{attr}() in sim code; use sim.now",
+                )
+            elif mod == "datetime" and attr in _WALL_CLOCK_DATETIME:
+                self._flag(
+                    node, "wall-clock",
+                    f"datetime.{attr}() in sim code; use sim.now",
+                )
+            elif mod == "random":
+                self._flag(
+                    node, "random-module",
+                    f"random.{attr}() uses global unseeded state; draw "
+                    f"from the job's numpy Generator substreams",
+                )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._flag(
+                    node, "random-module",
+                    "stdlib random imported; sim code must draw from "
+                    "the job's numpy Generator substreams",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._flag(
+                node, "random-module",
+                "stdlib random imported; sim code must draw from the "
+                "job's numpy Generator substreams",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, "syntax-error", str(exc.msg))]
+    visitor = _Visitor(path, source.splitlines())
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    for root in paths:
+        p = Path(root)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            findings.extend(lint_source(f.read_text(), str(f)))
+    return findings
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.check.lint PATH [PATH...]",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(argv)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..check import CheckPlan
 from ..errors import ConfigError
 from ..faults import FaultPlan
 
@@ -51,6 +52,10 @@ class RuntimeConfig:
     #: Deterministic fault plan (:class:`repro.faults.FaultPlan` or the
     #: equivalent config dict); ``None`` disables injection.
     fault_plan: Optional[FaultPlan] = None
+    #: Invariant sanitizer plan (:class:`repro.check.CheckPlan`, the
+    #: equivalent config dict, or ``True`` for the default plan);
+    #: ``None`` disables auditing.
+    check: Optional[CheckPlan] = None
 
     def __post_init__(self) -> None:
         if self.connection_mode not in _CONNECTION_MODES:
@@ -73,6 +78,17 @@ class RuntimeConfig:
             raise ConfigError(
                 f"fault_plan must be a FaultPlan or config dict, "
                 f"got {self.fault_plan!r}"
+            )
+        if self.check is True:
+            object.__setattr__(self, "check", CheckPlan())
+        elif self.check is False:
+            object.__setattr__(self, "check", None)
+        elif isinstance(self.check, dict):
+            object.__setattr__(self, "check", CheckPlan.from_dict(self.check))
+        elif self.check is not None and not isinstance(self.check, CheckPlan):
+            raise ConfigError(
+                f"check must be a CheckPlan, config dict, or bool, "
+                f"got {self.check!r}"
             )
 
     # -- the paper's two corners ------------------------------------------

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..check import CheckPlan, Sanitizer
 from ..cluster import Cluster, cluster_a
-from ..errors import ConfigError
+from ..errors import ConfigError, InvariantViolation
 from ..faults import FaultInjector, FaultPlan
 from ..gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
 from ..ib import HCA, Fabric, VerbsContext
@@ -46,6 +47,7 @@ class Job:
         trace: bool = False,
         faults: Optional[FaultPlan] = None,
         observe: Optional[bool] = None,
+        check: Optional[CheckPlan] = None,
     ) -> None:
         if npes < 1:
             raise ConfigError("npes must be >= 1")
@@ -110,8 +112,27 @@ class Job:
             )
             if self.obs is not None:
                 self.fault_injector.obs = self.obs
+        # -- invariant sanitizer (explicit arg wins over config) --------
+        check_plan = check if check is not None else self.config.check
+        if check_plan is True:
+            check_plan = CheckPlan()
+        elif check_plan is False:
+            check_plan = None
+        elif isinstance(check_plan, dict):
+            check_plan = CheckPlan.from_dict(check_plan)
+        elif check_plan is not None and not isinstance(check_plan, CheckPlan):
+            raise ConfigError(
+                f"check must be a CheckPlan, config dict, or bool, "
+                f"got {check_plan!r}"
+            )
+        self.sanitizer: Optional[Sanitizer] = None
+        if check_plan is not None and not check_plan.empty:
+            self.sanitizer = Sanitizer(
+                check_plan, self.sim, obs=self.obs
+            ).install(hcas=self.hcas, pmi_domain=self.pmi_domain)
         self.network = ConduitNetwork()
         self.network.obs = self.obs
+        self.network.check = self.sanitizer
         #: Protocol-level event log (connects, AMs, RMA); off by default
         #: so it costs one pointer check on the hot paths.
         self.tracer = Tracer(self.sim, enabled=trace)
@@ -143,6 +164,7 @@ class Job:
             pe.install_peer_registry(registry)
             pe.node_barrier = node_barriers[self.cluster.node_of(r)]
             pe.obs = self.obs
+            pe.check = self.sanitizer
 
     # ------------------------------------------------------------------
     def run(self, app) -> JobResult:
@@ -178,11 +200,35 @@ class Job:
             done["ok"] = True
 
         spawn(self.sim, join_all(self.sim), name="join")
-        self.sim.run()
+        try:
+            self.sim.run()
+        except BaseException as exc:
+            # A strict sanitizer violation inside a PE process arrives
+            # wrapped in the engine's generic ProcessFailure; surface
+            # the structured violation itself at the job boundary.
+            cause = exc.__cause__
+            if isinstance(cause, InvariantViolation):
+                raise cause from exc
+            raise
         if not done["ok"]:
-            raise RuntimeError(
+            msg = (
                 "job did not complete: a PE is deadlocked "
                 "(event queue drained with processes still waiting)"
+            )
+            if self.sanitizer is not None and self.sanitizer.violations:
+                heads = "; ".join(
+                    str(v) for v in self.sanitizer.violations[:5]
+                )
+                msg += (
+                    f" — sanitizer recorded "
+                    f"{len(self.sanitizer.violations)} violation(s): {heads}"
+                )
+            raise RuntimeError(msg)
+
+        check_report = None
+        if self.sanitizer is not None:
+            check_report = self.sanitizer.final_audit(
+                pes=self.pes, conduits=self.conduits, pmi_clients=self.pmi,
             )
 
         launch = self.cluster.cost.launch_overhead_us
@@ -196,4 +242,5 @@ class Job:
             app_results=results,
             counters=self.counters.as_dict(),
             telemetry=self.obs.telemetry() if self.obs is not None else None,
+            check=check_report,
         )

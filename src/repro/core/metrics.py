@@ -91,6 +91,9 @@ class JobResult:
     #: Flight-recorder payload (span stats + metrics snapshot) when the
     #: job ran with ``observe=True``; ``None`` otherwise.
     telemetry: Optional[Dict[str, Any]] = None
+    #: Sanitizer report (plan, violations, stats, leak report) when the
+    #: job ran with ``check=...``; ``None`` otherwise.
+    check: Optional[Dict[str, Any]] = None
 
     @property
     def wall_time_s(self) -> float:

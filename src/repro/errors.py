@@ -14,6 +14,7 @@ __all__ = [
     "ShmemError",
     "MPIError",
     "ConfigError",
+    "InvariantViolation",
 ]
 
 
@@ -60,3 +61,45 @@ class MPIError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid runtime configuration."""
+
+
+class InvariantViolation(ReproError):
+    """A protocol/lifetime invariant was broken (``repro.check``).
+
+    Raised (or collected, under a non-strict plan) by the opt-in
+    sanitizer.  Carries enough structure to locate the violation in a
+    simulated run: the layer, the invariant name, the acting rank, the
+    simulated time, and — when the flight recorder is on — the id of
+    the active span.
+    """
+
+    def __init__(
+        self,
+        layer: str,
+        invariant: str,
+        detail: str,
+        rank=None,
+        time_us=None,
+        span_id=None,
+    ) -> None:
+        where = f"pe{rank}" if rank is not None else "?"
+        when = f"{time_us:.3f}us" if time_us is not None else "?"
+        super().__init__(
+            f"[{layer}:{invariant}] {where} @ {when}: {detail}"
+        )
+        self.layer = layer
+        self.invariant = invariant
+        self.detail = detail
+        self.rank = rank
+        self.time_us = time_us
+        self.span_id = span_id
+
+    def as_dict(self):
+        return {
+            "layer": self.layer,
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "rank": self.rank,
+            "time_us": self.time_us,
+            "span_id": self.span_id,
+        }

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..check import CheckPlan
 from ..errors import ConfigError
 from ..faults import FaultPlan
 
@@ -95,6 +96,9 @@ class JobSpec:
     seed: Optional[int] = None
     observe: bool = False
     faults: Optional[FaultPlan] = None
+    #: Invariant sanitizer plan (CheckPlan or config dict); ``None``
+    #: runs unaudited.
+    check: Optional[CheckPlan] = None
     #: CostModel fields to evolve on top of the testbed's preset (e.g.
     #: ``{"qp_cache_entries": 8}`` for ablation D5).  Normalised to a
     #: sorted tuple so specs stay hashable.
@@ -117,6 +121,17 @@ class JobSpec:
             object.__setattr__(
                 self, "cost_overrides", tuple(sorted(overrides.items()))
             )
+        if self.check is True:
+            object.__setattr__(self, "check", CheckPlan())
+        elif self.check is False:
+            object.__setattr__(self, "check", None)
+        elif isinstance(self.check, Mapping):
+            object.__setattr__(self, "check", CheckPlan.from_dict(dict(self.check)))
+        elif self.check is not None and not isinstance(self.check, CheckPlan):
+            raise ConfigError(
+                f"JobSpec.check must be a CheckPlan, config dict, or bool, "
+                f"got {self.check!r}"
+            )
 
     @property
     def key(self) -> str:
@@ -132,6 +147,8 @@ class JobSpec:
             parts.append(f"seed{self.seed}")
         if self.observe:
             parts.append("obs")
+        if self.check is not None:
+            parts.append("check")
         return "-".join(parts)
 
 
@@ -174,6 +191,7 @@ def execute(spec: JobSpec) -> Any:
         cluster=_cluster_for(spec),
         faults=spec.faults,
         observe=spec.observe or None,
+        check=spec.check,
     )
     try:
         return job.run(spec.app)

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..cluster import Cluster
-from ..errors import ConduitError
+from ..errors import ConduitError, RemoteAccessError, VerbsError
 from ..ib import (
     CompletionQueue,
     EndpointAddress,
@@ -40,7 +40,7 @@ from ..ib import (
     VerbsContext,
     WorkCompletion,
 )
-from ..ib.types import Opcode
+from ..ib.types import Opcode, WCStatus
 from ..pmi import PMIClient, PMIHandle
 from ..sim import Semaphore, SimEvent, Simulator, Tracer, spawn
 from .messages import ActiveMessage, ConnectReply, ConnectRequest
@@ -65,6 +65,9 @@ class ConduitNetwork:
         #: Flight recorder (repro.obs.Observability) shared by every
         #: conduit; installed by ``Job(observe=True)``, else None.
         self.obs = None
+        #: Invariant sanitizer shared by every conduit; installed by
+        #: ``Job(check=...)``, else None.
+        self.check = None
 
     def register(self, conduit: "Conduit") -> None:
         self._conduits[conduit.rank] = conduit
@@ -111,6 +114,7 @@ class Conduit:
         self.counters = ctx.counters
         self.tracer = network.tracer
         self.obs = network.obs
+        self.check = network.check
 
         self._handlers: Dict[str, Callable] = {}
         self._conns: Dict[int, Connection] = {}
@@ -133,6 +137,9 @@ class Conduit:
         #: the PE has registered its own segments).
         self._ready = False
         self._held_requests: List[ConnectRequest] = []
+        #: Set once teardown begins; late handshake traffic must be
+        #: dropped, not served (it would leak a half-open QP).
+        self._closed = False
 
         #: Distinct peers this PE initiated communication with over any
         #: path (fabric or intra-node) — what Table I counts.
@@ -176,6 +183,7 @@ class Conduit:
 
     def shutdown(self) -> Generator:
         """Tear down all materialised connections (charged per QP)."""
+        self._closed = True
         for conn in list(self._conns.values()):
             yield from self.ctx.destroy_qp(conn.qp)
         self._conns.clear()
@@ -248,6 +256,8 @@ class Conduit:
 
     def _register_connection(self, peer: int, qp: RCQueuePair,
                              send_cq: CompletionQueue) -> Connection:
+        if self.check is not None and peer in self._conns:
+            self.check.on_duplicate_connection(self.rank, peer)
         conn = Connection(
             peer=peer, qp=qp, send_cq=send_cq, lock=Semaphore(self.sim, 1)
         )
@@ -514,6 +524,16 @@ class Conduit:
         try:
             wc = yield waiter
             yield self.cost.poll_cq_us
+            if wc.status is not WCStatus.SUCCESS:
+                if wc.status is WCStatus.REMOTE_ACCESS_ERROR:
+                    raise RemoteAccessError(
+                        f"PE {self.rank}: nbi {op} to {peer} failed "
+                        f"remotely: {wc.data}"
+                    )
+                raise VerbsError(
+                    f"PE {self.rank}: nbi {op} to {peer} completed with "
+                    f"{wc.status.value}"
+                )
             if op == "read" and on_data is not None:
                 on_data(wc.data)
         finally:

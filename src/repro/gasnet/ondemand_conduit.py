@@ -64,6 +64,38 @@ class OnDemandConduit(Conduit):
         self._pending: Dict[int, _PendingConnect] = {}
         #: Peers we are currently serving (reply possibly in flight).
         self._serving: Dict[int, ConnectReply] = {}
+        #: Serves currently executing in the progress process; teardown
+        #: must drain them or it races a half-built QP.
+        self._active_serves = 0
+        self._serves_drained: Optional[SimEvent] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> Generator:
+        """Drain or abort in-flight handshakes, then tear down.
+
+        Finalize can race the progress engine: a serve spawned for a
+        late ConnectRequest builds its RC QP over several simulated
+        steps, and sweeping connections mid-build leaves a half-open QP
+        nothing ever destroys.  Close first (the progress engine drops
+        new requests from here on), abort held requests, wait out any
+        client attempts and in-flight serves, then run the QP sweep.
+        """
+        self._closed = True
+        held, self._held_requests = self._held_requests, []
+        if held:
+            # Never served now; the senders' retry budgets expired long
+            # before finalize's barrier let us get here.
+            self.counters.add("conduit.held_dropped_at_close", len(held))
+        for pending in list(self._pending.values()):
+            if not pending.event.triggered:
+                yield pending.event
+        while self._active_serves > 0:
+            if self._serves_drained is None:
+                self._serves_drained = self.sim.event()
+            yield self._serves_drained
+        yield from super().shutdown()
 
     # ------------------------------------------------------------------
     # client side
@@ -132,6 +164,8 @@ class OnDemandConduit(Conduit):
         req_span_id = (
             pending.span.span_id if pending.span is not None else None
         )
+        if self.check is not None:
+            self.check.on_connect_request_sent(self.rank, peer)
         sends = 0
         for attempt in range(self.cost.ud_max_retries + 1):
             req = ConnectRequest(
@@ -172,6 +206,12 @@ class OnDemandConduit(Conduit):
                 self._finish_connect_span(pending, "superseded")
                 return
         self._finish_connect_span(pending, "failed")
+        # Abort cleanly: a failed attempt must not leave a half-open QP
+        # behind, nor a forever-untriggered pending event for shutdown
+        # to wait on.
+        qp.destroy()
+        if self._pending.get(peer) is pending:
+            del self._pending[peer]
         raise ConduitError(
             f"PE {self.rank}: connect to {peer} failed after {sends} sends "
             f"({sends - 1} retransmissions)"
@@ -231,6 +271,8 @@ class OnDemandConduit(Conduit):
 
     def _on_connect_reply(self, rep: ConnectReply) -> Generator:
         peer = rep.src_rank
+        if self.check is not None:
+            self.check.on_connect_reply_rx(self.rank, peer)
         pending = self._pending.get(peer)
         if pending is None or peer in self._conns:
             # Duplicate reply (retransmission already handled) -- drop.
@@ -263,6 +305,14 @@ class OnDemandConduit(Conduit):
     # ------------------------------------------------------------------
     def _on_connect_request(self, req: ConnectRequest) -> Generator:
         peer = req.src_rank
+        if self._closed:
+            # Teardown has begun: serving now would build an RC QP that
+            # nothing will ever tear down (the shutdown pass is already
+            # past).  A delayed/duplicate request landing this late is
+            # legal UD behaviour — drop it; the sender's retry budget
+            # has long expired.
+            self.counters.add("conduit.dropped_after_close")
+            return
         if peer in self._conns:
             # Lost reply: retransmit idempotently.
             rep = self._serving.get(peer)
@@ -295,7 +345,25 @@ class OnDemandConduit(Conduit):
     def _serve(
         self, req: ConnectRequest, pending: Optional["_PendingConnect"]
     ) -> Generator:
+        """Track the serve so :meth:`shutdown` can drain it."""
+        self._active_serves += 1
+        try:
+            yield from self._do_serve(req, pending)
+        finally:
+            self._active_serves -= 1
+            if self._active_serves == 0 and self._serves_drained is not None:
+                self._serves_drained.succeed()
+                self._serves_drained = None
+
+    def _do_serve(
+        self, req: ConnectRequest, pending: Optional["_PendingConnect"]
+    ) -> Generator:
         peer = req.src_rank
+        if self._closed and self.check is not None:
+            # Unreachable through _on_connect_request (which drops
+            # post-close traffic); the sanitizer guards the invariant
+            # against regressions on other entry paths.
+            self.check.on_serve_after_close(self.rank, peer)
         tr = self.tracer
         if tr is not None and tr.enabled:
             tr.log(f"pe{self.rank}", "serve", peer)

@@ -56,7 +56,14 @@ class StaticConduit(Conduit):
 
     def teardown_charge(self) -> Generator:
         """Destroy-time for the full QP set (finalize cost)."""
+        self._closed = True
         yield from self.ctx.bulk_charge_qp_destroy(self.cluster.npes)
+        # The bulk charge pays for every QP, including the lazily
+        # materialised ones — destroy those objects too so the HCA's QP
+        # table ends the job empty (and the sanitizer can assert it).
+        for conn in self._conns.values():
+            conn.qp.destroy()
+        self._conns.clear()
 
     # ------------------------------------------------------------------
     def ensure_connected(self, peer: int) -> Generator:

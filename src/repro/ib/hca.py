@@ -52,10 +52,15 @@ class HCA:
         self._next_qpn = 1
         self._qp_cache: "OrderedDict[int, None]" = OrderedDict()
         self._rkeys: Dict[int, Tuple[MemoryRegion, MemoryManager]] = {}
+        #: rkeys whose region was deregistered (distinguishes a revoked
+        #: handle from one that never existed when NAKing).
+        self._revoked_rkeys: Dict[int, None] = {}
         #: Optional fault injector (installed by ``Job(faults=...)``).
         self.faults: Optional["FaultInjector"] = None
         #: Flight recorder (installed by ``Job(observe=True)``).
         self.obs = None
+        #: Invariant sanitizer (installed by ``Job(check=...)``).
+        self.check = None
         fabric.attach(self)
 
     # -- QP management ----------------------------------------------------
@@ -83,10 +88,15 @@ class HCA:
         if qp.qpn in self._qps:
             raise ValueError(f"qpn {qp.qpn} already registered on LID {self.lid:#x}")
         self._qps[qp.qpn] = qp
+        if self.check is not None:
+            self.check.on_qp_registered(qp)
 
     def destroy_qp(self, qpn: int) -> None:
         self._qps.pop(qpn, None)
-        self._qp_cache.pop(qpn, None)
+        if qpn in self._qp_cache:
+            del self._qp_cache[qpn]
+            if self.check is not None:
+                self.check.on_cache_remove(self)
 
     def qp(self, qpn: int):
         return self._qps[qpn]
@@ -98,11 +108,17 @@ class HCA:
         if qpn in cache:
             cache.move_to_end(qpn)
             self.counters.add("hca.qp_cache_hits")
+            if self.check is not None:
+                self.check.on_cache_touch(self, hit=True, evicted=False)
             return 0.0
         cache[qpn] = None
+        evicted = False
         if len(cache) > self.cost.qp_cache_entries:
             cache.popitem(last=False)
+            evicted = True
         self.counters.add("hca.qp_cache_misses")
+        if self.check is not None:
+            self.check.on_cache_touch(self, hit=False, evicted=evicted)
         if self.obs is not None:
             self.obs.metrics.histogram(
                 "hca.qp_cache_miss_penalty_us", node=self.node
@@ -115,7 +131,8 @@ class HCA:
         self._rkeys[region.rkey] = (region, mm)
 
     def hide_memory(self, region: MemoryRegion) -> None:
-        self._rkeys.pop(region.rkey, None)
+        if self._rkeys.pop(region.rkey, None) is not None:
+            self._revoked_rkeys[region.rkey] = None
 
     def memory_target(self, rkey: int) -> Tuple[MemoryRegion, MemoryManager]:
         from ..errors import RemoteAccessError
@@ -123,6 +140,11 @@ class HCA:
         try:
             return self._rkeys[rkey]
         except KeyError:
+            if rkey in self._revoked_rkeys:
+                raise RemoteAccessError(
+                    f"LID {self.lid:#x}: rkey {rkey:#x} revoked "
+                    f"(region deregistered)"
+                ) from None
             raise RemoteAccessError(
                 f"LID {self.lid:#x}: no region with rkey {rkey:#x}"
             ) from None

@@ -41,6 +41,10 @@ class MemoryRegion:
     lkey: int  #: Local key (== rkey in this model).
     owner_rank: int
     mm: "MemoryManager"  #: Owner of the backing storage.
+    #: Set by ``deregister``: the handle is dead even though the numpy
+    #: view it references may still be alive.  Remote access through a
+    #: revoked region must fail, never read through.
+    revoked: bool = False
 
     @property
     def buf(self) -> np.ndarray:
@@ -73,6 +77,9 @@ class MemoryManager:
         self._buffers: Dict[int, object] = {}
         self._regions: Dict[int, MemoryRegion] = {}  # rkey -> region
         self._by_addr: Dict[int, MemoryRegion] = {}  # base addr -> region
+        #: rkeys of deregistered regions, kept so a late lookup fails
+        #: with a *revoked* error rather than a confusing unknown-rkey.
+        self._revoked: Dict[int, None] = {}
         self.registered_bytes = 0
 
     # -- allocation -----------------------------------------------------
@@ -138,15 +145,28 @@ class MemoryManager:
             )
         del self._regions[region.rkey]
         del self._by_addr[region.addr]
+        region.revoked = True
+        self._revoked[region.rkey] = None
         self.registered_bytes -= region.size
 
     def region_by_rkey(self, rkey: int) -> MemoryRegion:
         try:
-            return self._regions[rkey]
+            region = self._regions[rkey]
         except KeyError:
+            if rkey in self._revoked:
+                raise RemoteAccessError(
+                    f"PE {self.rank}: rkey {rkey:#x} revoked "
+                    f"(region deregistered)"
+                ) from None
             raise RemoteAccessError(
                 f"PE {self.rank}: unknown rkey {rkey:#x}"
             ) from None
+        if region.revoked:  # pragma: no cover - defence in depth
+            raise RemoteAccessError(
+                f"PE {self.rank}: rkey {rkey:#x} revoked "
+                f"(region deregistered)"
+            )
+        return region
 
     # -- local access ------------------------------------------------------
     def _locate(self, addr: int, nbytes: int) -> Tuple[np.ndarray, int]:

@@ -41,6 +41,7 @@ class _QueuePairBase:
         self.owner_rank = owner_rank
         self.qpn = hca.alloc_qpn()
         self.state = QPState.RESET
+        self.destroyed = False
         hca.register_qp(self)
 
     @property
@@ -50,12 +51,30 @@ class _QueuePairBase:
 
     def _require(self, *states: QPState) -> None:
         if self.state not in states:
-            raise QPStateError(
+            detail = (
                 f"QP {self.qpn} (PE {self.owner_rank}) is {self.state.value}, "
                 f"needs {'/'.join(s.value for s in states)}"
             )
+            check = self.hca.check
+            if check is not None:
+                # Raises InvariantViolation under a strict plan; if it
+                # returns, fall through to the legacy error so the
+                # illegal operation never proceeds.
+                check.on_qp_state_error(self, states, detail)
+            raise QPStateError(detail)
 
     def destroy(self) -> None:
+        check = self.hca.check
+        if self.destroyed:
+            # Legacy behaviour tolerates the redundant call silently
+            # (the QP table pop was already a no-op); the sanitizer
+            # flags it.
+            if check is not None:
+                check.on_qp_double_destroy(self)
+            return
+        self.destroyed = True
+        if check is not None:
+            check.on_qp_destroy(self)
         self.hca.destroy_qp(self.qpn)
         self.state = QPState.ERROR
 
@@ -214,6 +233,9 @@ class RCQueuePair(_QueuePairBase):
     def _track(self, wr_id: int, opcode: Opcode) -> int:
         token = next(_token_counter)
         self._pending[token] = (wr_id, opcode)
+        check = self.hca.check
+        if check is not None:
+            check.on_wr_posted(self, token)
         return token
 
     def post_send(self, payload: object, nbytes: int, wr_id: int = 0) -> None:
@@ -267,6 +289,20 @@ class RCQueuePair(_QueuePairBase):
     def _reply(self, kind: str, nbytes: int, token: int, payload=None) -> None:
         """Send an ack/response back to the connected peer."""
         self._transmit(kind, nbytes, token=token, payload=payload)
+
+    def _nak(self, packet: Packet, exc: RemoteAccessError) -> None:
+        """Inbound RDMA/atomic hit a revoked or unknown rkey.
+
+        Mirrors IBV: the target NAKs and the requester's WR completes
+        with a remote-access error status — the simulation does not
+        crash and no stale view is read through.  The sanitizer (when
+        armed) additionally reports the access at the point of damage.
+        """
+        self.hca.counters.add("rc.remote_access_naks")
+        check = self.hca.check
+        if check is not None:
+            check.on_remote_access_error(self, packet.rkey, str(exc))
+        self._reply("nak", 16, packet.token, payload=str(exc))
 
     #: Redelivery delay when a packet reaches a QP that is not yet RTR
     #: (models the RNR/retry behaviour of real RC hardware: the sender's
@@ -323,28 +359,68 @@ class RCQueuePair(_QueuePairBase):
             )
             self._reply("ack", 16, packet.token)
         elif packet.kind == "rdma_write":
-            region, mm = self.hca.memory_target(packet.rkey)
-            mm.rdma_write(packet.raddr, packet.rkey, packet.payload)
-            self._reply("ack", 16, packet.token)
+            try:
+                region, mm = self.hca.memory_target(packet.rkey)
+                mm.rdma_write(packet.raddr, packet.rkey, packet.payload)
+            except RemoteAccessError as exc:
+                self._nak(packet, exc)
+            else:
+                self._reply("ack", 16, packet.token)
         elif packet.kind == "rdma_read_req":
-            region, mm = self.hca.memory_target(packet.rkey)
-            data = mm.rdma_read(packet.raddr, packet.rkey, packet.swap_or_add)
-            self._reply("rdma_read_resp", len(data), packet.token, payload=data)
+            try:
+                region, mm = self.hca.memory_target(packet.rkey)
+                data = mm.rdma_read(
+                    packet.raddr, packet.rkey, packet.swap_or_add
+                )
+            except RemoteAccessError as exc:
+                self._nak(packet, exc)
+            else:
+                self._reply(
+                    "rdma_read_resp", len(data), packet.token, payload=data
+                )
         elif packet.kind == "atomic_req":
-            region, mm = self.hca.memory_target(packet.rkey)
-            old = mm.atomic(
-                packet.raddr, packet.rkey, packet.payload,
-                packet.compare, packet.swap_or_add,
-            )
-            self._reply("atomic_resp", 16, packet.token, payload=old)
-        elif packet.kind in ("ack", "rdma_read_resp", "atomic_resp"):
+            try:
+                region, mm = self.hca.memory_target(packet.rkey)
+                old = mm.atomic(
+                    packet.raddr, packet.rkey, packet.payload,
+                    packet.compare, packet.swap_or_add,
+                )
+            except RemoteAccessError as exc:
+                self._nak(packet, exc)
+            else:
+                self._reply("atomic_resp", 16, packet.token, payload=old)
+        elif packet.kind in ("ack", "rdma_read_resp", "atomic_resp", "nak"):
             try:
                 wr_id, opcode = self._pending.pop(packet.token)
             except KeyError:
+                check = self.hca.check
+                if check is not None:
+                    check.on_unmatched_completion(
+                        self, packet.kind, packet.token
+                    )
                 raise VerbsError(
                     f"RC QP {self.qpn}: unmatched {packet.kind} "
                     f"token={packet.token}"
                 ) from None
+            check = self.hca.check
+            if packet.kind == "nak":
+                # Remote-access failure at the target: surface as an
+                # error completion at the requester (IBV maps a remote
+                # access NAK to IBV_WC_REM_ACCESS_ERR).
+                if check is not None:
+                    check.on_wr_errored(self, packet.token)
+                self.send_cq.push(
+                    WorkCompletion(
+                        wr_id=wr_id,
+                        opcode=opcode,
+                        status=WCStatus.REMOTE_ACCESS_ERROR,
+                        byte_len=0,
+                        data=packet.payload,
+                    )
+                )
+                return
+            if check is not None:
+                check.on_wr_completed(self, packet.token)
             self.send_cq.push(
                 WorkCompletion(
                     wr_id=wr_id,

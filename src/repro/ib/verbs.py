@@ -26,12 +26,13 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..cluster import CostModel
+from ..errors import RemoteAccessError, VerbsError
 from ..sim import Counters, Simulator
 from .cq import CompletionQueue
 from .hca import HCA
 from .memory import MemoryManager, MemoryRegion
 from .qp import RCQueuePair, UDQueuePair
-from .types import EndpointAddress
+from .types import EndpointAddress, WCStatus
 
 __all__ = ["VerbsContext"]
 
@@ -246,7 +247,23 @@ class VerbsContext:
         )
 
     def poll(self, cq: CompletionQueue):
-        """Wait for (and charge the poll cost of) one completion."""
+        """Wait for (and charge the poll cost of) one completion.
+
+        Error completions raise at the requester, as real verbs users
+        treat them: a remote-access NAK (e.g. the target deregistered
+        the region mid-flight) surfaces as :class:`RemoteAccessError`,
+        anything else as :class:`VerbsError`.
+        """
         wc = yield cq.wait()
         yield self.cost.poll_cq_us
+        if wc.status is not WCStatus.SUCCESS:
+            if wc.status is WCStatus.REMOTE_ACCESS_ERROR:
+                raise RemoteAccessError(
+                    f"PE {self.rank}: {wc.opcode.value} wr_id={wc.wr_id} "
+                    f"failed remotely: {wc.data}"
+                )
+            raise VerbsError(
+                f"PE {self.rank}: {wc.opcode.value} wr_id={wc.wr_id} "
+                f"completed with {wc.status.value}"
+            )
         return wc

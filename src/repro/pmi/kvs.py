@@ -24,14 +24,25 @@ class KeyValueStore:
         #: Single-slot memo for :meth:`get_range` (see below).
         self._range_key: Optional[tuple] = None
         self._range_values: Optional[List[Any]] = None
+        #: Invariant sanitizer (installed by ``Job(check=...)``).
+        self.check = None
 
     def commit(self, staged: Dict[str, Any]) -> None:
         """Merge a batch of staged puts; bumps the commit epoch."""
         overlap = set(staged) & set(self._data)
         if overlap:
             raise PMIError(f"duplicate KVS keys committed: {sorted(overlap)[:5]}")
+        prev_epoch = self.epoch
         self._data.update(staged)
         self.epoch += 1
+        # The memo is keyed by the pre-commit epoch, which can never
+        # match a future lookup — dropping it here frees the dead
+        # directory instead of pinning one per epoch for the job's
+        # lifetime (pure host memory; no simulated cost either way).
+        self._range_key = None
+        self._range_values = None
+        if self.check is not None:
+            self.check.on_kvs_commit(self, prev_epoch)
 
     def get(self, key: str) -> Any:
         try:
@@ -55,6 +66,10 @@ class KeyValueStore:
         """
         memo_key = (prefix, count, self.epoch)
         if self._range_key == memo_key:
+            if self.check is not None:
+                self.check.on_range_memo_hit(
+                    self, prefix, count, self._range_values
+                )
             return self._range_values
         values = [self.get(f"{prefix}{i}") for i in range(count)]
         self._range_key, self._range_values = memo_key, values

@@ -134,6 +134,8 @@ class PMIDomain:
         self.faults: Optional["FaultInjector"] = None
         #: Flight recorder (installed by ``Job(observe=True)``).
         self.obs = None
+        #: Invariant sanitizer (installed by ``Job(check=...)``).
+        self.check = None
         self.kvs = KeyValueStore()
         self.daemons = [
             Daemon(self, node, len(cluster.ranks_on_node(node)))

@@ -54,6 +54,8 @@ class ShmemContext:
         #: Flight recorder (repro.obs.Observability); the Job installs
         #: it when observing, None otherwise (one predicate per site).
         self.obs = None
+        #: Invariant sanitizer (installed by ``Job(check=...)``).
+        self.check = None
         self.initialized = False
         self.finalized = False
 
@@ -97,7 +99,10 @@ class ShmemContext:
     def shmalloc(self, size: int) -> int:
         """Symmetric allocation (must be called symmetrically on all PEs)."""
         self._require_init()
-        return self.heap.shmalloc(size)
+        addr = self.heap.shmalloc(size)
+        if self.check is not None:
+            self.check.on_shmalloc(self.rank, addr, size)
+        return addr
 
     def shfree(self, addr: int) -> None:
         self._require_init()

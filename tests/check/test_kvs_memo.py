@@ -1,0 +1,138 @@
+"""KVS range-memo hygiene: dropped on commit, coherent on hit, free.
+
+The seed's leak: ``get_range``'s single-slot memo survived ``commit``.
+The key is epoch-stamped so the stale entry could never be *served*,
+but it pinned one dead directory (the job's largest host object) per
+epoch.  The fix drops it at commit time; the pmi auditor checks both
+the hygiene (memo gone after commit) and the coherence of every hit.
+"""
+
+import pytest
+
+from repro.check import CheckPlan, Sanitizer
+from repro.cluster import CostModel
+from repro.errors import InvariantViolation
+from repro.pmi.kvs import KeyValueStore
+from repro.sim import Simulator, spawn
+
+from ..gasnet.conftest import build_conduit_rig
+
+
+class TestMemoDropOnCommit:
+    def test_commit_clears_the_memo(self):
+        kvs = KeyValueStore()
+        kvs.commit({f"ep{i}": i * 11 for i in range(4)})
+        first = kvs.get_range("ep", 4)
+        assert kvs.get_range("ep", 4) is first   # memo hit
+        kvs.commit({"late0": 99})
+        # Pre-fix: the (dead, epoch-1-keyed) memo survived here.
+        assert kvs._range_key is None
+        assert kvs._range_values is None
+
+    def test_post_commit_fetch_rebuilds_fresh(self):
+        kvs = KeyValueStore()
+        kvs.commit({f"ep{i}": i for i in range(3)})
+        first = kvs.get_range("ep", 3)
+        kvs.commit({"other0": 1})
+        second = kvs.get_range("ep", 3)
+        assert second == first
+        assert second is not first  # rebuilt, not the stale slot
+
+    def test_epoch_bumps_by_one_per_commit(self):
+        kvs = KeyValueStore()
+        assert kvs.epoch == 0
+        kvs.commit({"a": 1})
+        kvs.commit({"b": 2})
+        assert kvs.epoch == 2
+
+
+class TestPmiAuditor:
+    def _sanitized_kvs(self, strict=True):
+        kvs = KeyValueStore()
+        san = Sanitizer(CheckPlan(name="pmi", strict=strict), Simulator())
+        kvs.check = san
+        return kvs, san
+
+    def test_clean_commit_and_memo_hit_pass(self):
+        kvs, san = self._sanitized_kvs()
+        kvs.commit({f"ep{i}": i for i in range(4)})
+        kvs.get_range("ep", 4)
+        kvs.get_range("ep", 4)  # hit: verified against a reference fetch
+        kvs.commit({"z0": 0})
+        assert san.violations == []
+        assert san.report()["stats"]["kvs_commits"] == 2
+
+    def test_corrupted_memo_hit_raises(self):
+        kvs, san = self._sanitized_kvs()
+        kvs.commit({f"ep{i}": i for i in range(4)})
+        kvs.get_range("ep", 4)
+        kvs._range_values[2] = "corrupt"
+        with pytest.raises(InvariantViolation) as ei:
+            kvs.get_range("ep", 4)
+        assert ei.value.invariant == "kvs.memo_incoherent"
+
+    def test_surviving_memo_flagged_as_leak(self):
+        """Re-stage the pre-fix bug: a memo left in place across a
+        commit is exactly what the auditor exists to catch."""
+        kvs, san = self._sanitized_kvs(strict=False)
+        kvs.commit({"ep0": 0})
+        kvs.get_range("ep", 1)
+        leaked_key = ("ep", 1, kvs.epoch)
+        kvs.commit({"ep1": 1})
+        kvs._range_key = leaked_key   # resurrect the pre-fix state
+        san.on_kvs_commit(kvs, kvs.epoch - 1)
+        assert [v.invariant for v in san.violations] == ["kvs.memo_leak"]
+
+    def test_epoch_regression_flagged(self):
+        kvs, san = self._sanitized_kvs(strict=False)
+        kvs.commit({"a": 1})          # epoch now 1
+        san.on_kvs_commit(kvs, prev_epoch=7)   # 7 -> 1 is not +1
+        assert [v.invariant for v in san.violations] == [
+            "kvs.epoch_monotonicity"
+        ]
+
+    def test_pmi_layer_off_is_inert(self):
+        kvs = KeyValueStore()
+        san = Sanitizer(CheckPlan(name="no-pmi", pmi=False), Simulator())
+        kvs.check = san
+        kvs.commit({"a": 1})
+        kvs._range_values = ["never-verified"]
+        kvs._range_key = ("a", 1, kvs.epoch)
+        kvs.get_range("a", 1)
+        assert san.violations == []
+
+
+class TestMemoCostNeutrality:
+    def test_audited_pmi_bootstrap_is_byte_identical(self):
+        """The memo (and its auditing) is pure host memory: a PMI-driven
+        directory bootstrap produces the same simulated time and the
+        same counters with the pmi auditor on and off."""
+        cost = CostModel().evolve(ud_loss_prob=0.0, ud_duplicate_prob=0.0)
+
+        def run(check):
+            rig = build_conduit_rig(npes=4, ppn=1, cost=cost, check=check)
+            for c in rig.conduits:
+                c.register_handler("ping", lambda src, data: None)
+            got = {}
+
+            def pe(r):
+                # Put/Fence/Get-range: the path whose memo the fix drops.
+                yield from rig.pmi[r].put(f"ep{r}", ("addr", r))
+                yield from rig.pmi[r].fence()
+                got[r] = list((yield from rig.pmi[r].get_range("ep", 4)))
+                yield from rig.conduits[r].am_send((r + 1) % 4, "ping")
+
+            for r in range(4):
+                spawn(rig.sim, pe(r), name=f"pe{r}")
+            rig.sim.run()
+            assert sorted(got) == [0, 1, 2, 3]
+            assert got[0] == [("addr", r) for r in range(4)]
+            return rig
+
+        base = run(check=False)
+        checked = run(check=CheckPlan(name="pmi-audit", strict=False))
+        assert checked.sim.now == base.sim.now
+        assert checked.counters.as_dict() == base.counters.as_dict()
+        assert checked.check is not None
+        assert checked.check.violations == []
+        assert checked.check.report()["stats"]["kvs_commits"] >= 1

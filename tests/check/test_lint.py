@@ -1,0 +1,134 @@
+"""Unit tests for the determinism lint (``python -m repro.check.lint``)."""
+
+from pathlib import Path
+
+from repro.check.lint import lint_paths, lint_source, main
+
+SRC_REPRO = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+
+def rules(source):
+    return [f.rule for f in lint_source(source)]
+
+
+class TestSetIteration:
+    def test_set_literal_in_for(self):
+        assert rules("for x in {1, 2}:\n    pass\n") == ["set-iteration"]
+
+    def test_set_call_in_for(self):
+        assert rules("for x in set(xs):\n    pass\n") == ["set-iteration"]
+
+    def test_frozenset_call_in_for(self):
+        assert rules("for x in frozenset(xs):\n    pass\n") == ["set-iteration"]
+
+    def test_set_comprehension_in_for(self):
+        assert rules("for x in {y for y in xs}:\n    pass\n") == ["set-iteration"]
+
+    def test_set_algebra_in_for(self):
+        assert rules("for x in set(a) - set(b):\n    pass\n") == ["set-iteration"]
+        assert rules("for x in set(a) | b:\n    pass\n") == ["set-iteration"]
+
+    def test_plain_binop_not_flagged(self):
+        # a - b could be integer/vector math; only flag recognisable sets
+        assert rules("for x in a - b:\n    pass\n") == []
+
+    def test_comprehension_iter_flagged(self):
+        assert rules("ys = [y for y in {1, 2}]\n") == ["set-iteration"]
+        assert rules("ys = {y: 1 for y in set(xs)}\n") == ["set-iteration"]
+
+    def test_ordered_idioms_clean(self):
+        assert rules("for x in dict.fromkeys(xs):\n    pass\n") == []
+        assert rules("for x in sorted(set(xs)):\n    pass\n") == []
+
+
+class TestDictKeysIteration:
+    def test_keys_call_in_for(self):
+        assert rules("for k in d.keys():\n    pass\n") == ["dict-keys-iteration"]
+
+    def test_direct_dict_iteration_clean(self):
+        assert rules("for k in d:\n    pass\n") == []
+
+    def test_keys_with_args_not_flagged(self):
+        # not the builtin dict protocol; leave custom APIs alone
+        assert rules("for k in d.keys(1):\n    pass\n") == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules("t = time.time()\n") == ["wall-clock"]
+
+    def test_perf_counter_flagged(self):
+        assert rules("t = time.perf_counter()\n") == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        assert rules("t = datetime.now()\n") == ["wall-clock"]
+
+    def test_sim_now_clean(self):
+        assert rules("t = sim.now\n") == []
+
+
+class TestRandomModule:
+    def test_import_flagged(self):
+        assert rules("import random\n") == ["random-module"]
+
+    def test_from_import_flagged(self):
+        assert rules("from random import choice\n") == ["random-module"]
+
+    def test_call_flagged(self):
+        assert rules("x = random.random()\n") == ["random-module"]
+
+    def test_numpy_generator_clean(self):
+        assert rules("x = rng.integers(0, 5)\n") == []
+
+
+class TestSuppressionAndOutput:
+    def test_inline_allow_comment_suppresses(self):
+        src = "for x in set(xs):  # lint: allow-set-iteration\n    pass\n"
+        assert rules(src) == []
+
+    def test_allow_comment_is_rule_specific(self):
+        src = "for x in set(xs):  # lint: allow-dict-keys-iteration\n    pass\n"
+        assert rules(src) == ["set-iteration"]
+
+    def test_syntax_error_reported_not_raised(self):
+        assert rules("def broken(:\n") == ["syntax-error"]
+
+    def test_finding_format_has_location_and_rule(self):
+        finding = lint_source("import random\n", path="pkg/mod.py")[0]
+        assert finding.format() == (
+            "pkg/mod.py:1: [random-module] stdlib random imported; sim "
+            "code must draw from the job's numpy Generator substreams"
+        )
+
+
+class TestCli:
+    def test_dirty_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nfor x in {1}:\n    pass\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "random-module" in out and "set-iteration" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("for x in sorted(xs):\n    pass\n")
+        assert main([str(good)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_directory_recursion(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "a.py").write_text("import random\n")
+        (tmp_path / "b.py").write_text("t = time.time()\n")
+        found = lint_paths([str(tmp_path)])
+        assert sorted(f.rule for f in found) == ["random-module", "wall-clock"]
+
+
+def test_simulator_sources_are_lint_clean():
+    """The CI gate, asserted in-suite: src/repro must carry zero
+    determinism-lint findings (deliberate uses carry allow comments)."""
+    findings = lint_paths([str(SRC_REPRO)])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -1,0 +1,190 @@
+"""MemoryRegion lifetime: deregistration racing in-flight RDMA.
+
+The seed's bug: ``deregister`` during an in-flight packet either read
+through a stale region view or crashed the *target* simulation with an
+uncaught :class:`RemoteAccessError`.  The fix mirrors IBV: the target
+NAKs, the requester's WR completes with a remote-access error status,
+and the revoked region is never written through.  The sanitizer's
+memory auditor additionally reports the access at the point of damage.
+"""
+
+import pytest
+
+from repro.check import CheckPlan, Sanitizer
+from repro.errors import InvariantViolation, MemoryRegistrationError, RemoteAccessError
+from repro.sim import spawn
+
+from ..conftest import build_rig
+from ..ib.test_qp_transport import _connect_pair
+
+
+def _revoke(ctx, region):
+    """Deregister instantly (models finalize racing the wire: zero
+    simulated time between post and revocation, packet still in flight)."""
+    ctx.hca.hide_memory(region)
+    ctx.mm.deregister(region)
+
+
+class TestDeregisterRacesInFlightWrite:
+    def test_requester_gets_error_completion_and_no_stale_write(self):
+        rig = build_rig(npes=2)
+        pair = _connect_pair(rig)
+        ctx0, ctx1 = rig.ctxs
+        observed = {}
+
+        def proc(sim):
+            addr = ctx1.mm.alloc(64)
+            region = yield from ctx1.reg_mr(addr)
+            yield from ctx0.post_rdma_write(
+                pair["qa"], b"DATA", region.addr, region.rkey
+            )
+            # The write is on the wire; the target revokes before it lands.
+            _revoke(ctx1, region)
+            try:
+                yield from ctx0.poll(pair["sa"])
+            except RemoteAccessError as exc:
+                observed["error"] = str(exc)
+            observed["bytes"] = ctx1.mm.read_local(addr, 4)
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()  # pre-fix: RemoteAccessError escaped at the target
+        assert "revoked" in observed["error"]
+        assert observed["bytes"] == b"\x00" * 4  # never written through
+        assert rig.counters["rc.remote_access_naks"] == 1
+
+    def test_delayed_read_to_revoked_region_also_naks(self):
+        rig = build_rig(npes=2)
+        pair = _connect_pair(rig)
+        ctx0, ctx1 = rig.ctxs
+        failures = []
+
+        def proc(sim):
+            addr = ctx1.mm.alloc(64)
+            region = yield from ctx1.reg_mr(addr)
+            ctx1.mm.write_local(addr, b"secret")
+            yield from ctx0.post_rdma_read(
+                pair["qa"], 6, region.addr, region.rkey
+            )
+            _revoke(ctx1, region)
+            try:
+                yield from ctx0.poll(pair["sa"])
+            except RemoteAccessError as exc:
+                failures.append(str(exc))
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()
+        assert len(failures) == 1 and "revoked" in failures[0]
+
+    def test_write_before_revocation_still_lands(self):
+        """Control: the same sequence with the revocation *after* the
+        completion leaves the data in place — deregister only affects
+        later traffic."""
+        rig = build_rig(npes=2)
+        pair = _connect_pair(rig)
+        ctx0, ctx1 = rig.ctxs
+        observed = {}
+
+        def proc(sim):
+            addr = ctx1.mm.alloc(64)
+            region = yield from ctx1.reg_mr(addr)
+            yield from ctx0.post_rdma_write(
+                pair["qa"], b"DATA", region.addr, region.rkey
+            )
+            yield from ctx0.poll(pair["sa"])     # completes first
+            _revoke(ctx1, region)
+            observed["bytes"] = ctx1.mm.read_local(addr, 4)
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()
+        assert observed["bytes"] == b"DATA"
+
+    def test_revoked_rkey_distinguished_from_unknown(self):
+        rig = build_rig(npes=2)
+        ctx = rig.ctxs[1]
+        holder = {}
+
+        def proc(sim):
+            addr = ctx.mm.alloc(16)
+            holder["region"] = yield from ctx.reg_mr(addr)
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()
+        region = holder["region"]
+        _revoke(ctx, region)
+        with pytest.raises(RemoteAccessError, match="revoked"):
+            ctx.mm.region_by_rkey(region.rkey)
+        with pytest.raises(RemoteAccessError, match="unknown rkey"):
+            ctx.mm.region_by_rkey(0xDEAD)
+        with pytest.raises(RemoteAccessError, match="revoked"):
+            ctx.hca.memory_target(region.rkey)
+        with pytest.raises(RemoteAccessError, match="no region"):
+            ctx.hca.memory_target(0xDEAD)
+
+    def test_double_deregister_rejected(self):
+        rig = build_rig(npes=2)
+        ctx = rig.ctxs[0]
+        holder = {}
+
+        def proc(sim):
+            addr = ctx.mm.alloc(16)
+            holder["region"] = yield from ctx.reg_mr(addr)
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()
+        ctx.mm.deregister(holder["region"])
+        with pytest.raises(MemoryRegistrationError):
+            ctx.mm.deregister(holder["region"])
+
+
+class TestSanitizedRevokedAccess:
+    def _scenario(self, rig, pair, swallow):
+        ctx0, ctx1 = rig.ctxs
+
+        def proc(sim):
+            addr = ctx1.mm.alloc(64)
+            region = yield from ctx1.reg_mr(addr)
+            yield from ctx0.post_rdma_write(
+                pair["qa"], b"DATA", region.addr, region.rkey
+            )
+            _revoke(ctx1, region)
+            if swallow:
+                try:
+                    yield from ctx0.poll(pair["sa"])
+                except RemoteAccessError:
+                    pass
+
+        return proc
+
+    def test_strict_plan_raises_at_point_of_damage(self):
+        rig = build_rig(npes=2)
+        san = Sanitizer(CheckPlan(name="mem"), rig.sim).install(hcas=rig.hcas)
+        pair = _connect_pair(rig)
+        spawn(rig.sim, self._scenario(rig, pair, swallow=False)(rig.sim))
+        with pytest.raises(InvariantViolation) as ei:
+            rig.sim.run()
+        assert ei.value.layer == "memory"
+        assert ei.value.invariant == "region.revoked_access"
+        assert ei.value.rank == 1  # the *target* PE, where the damage is
+
+    def test_nonstrict_plan_collects_and_run_completes(self):
+        rig = build_rig(npes=2)
+        san = Sanitizer(
+            CheckPlan(name="mem", strict=False), rig.sim
+        ).install(hcas=rig.hcas)
+        pair = _connect_pair(rig)
+        spawn(rig.sim, self._scenario(rig, pair, swallow=True)(rig.sim))
+        rig.sim.run()
+        assert [v.invariant for v in san.violations] == [
+            "region.revoked_access"
+        ]
+        assert rig.counters["rc.remote_access_naks"] == 1
+
+    def test_memory_layer_off_reports_nothing(self):
+        rig = build_rig(npes=2)
+        san = Sanitizer(
+            CheckPlan(name="mem", memory=False), rig.sim
+        ).install(hcas=rig.hcas)
+        pair = _connect_pair(rig)
+        spawn(rig.sim, self._scenario(rig, pair, swallow=True)(rig.sim))
+        rig.sim.run()
+        assert san.violations == []

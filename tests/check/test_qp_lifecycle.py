@@ -1,0 +1,151 @@
+"""QP lifetime coverage: destroy, double-destroy, post-after-destroy.
+
+Legacy (unsanitized) behaviour is part of the contract — destroyed QPs
+reject posts with :class:`QPStateError`, redundant destroys are silent,
+late traffic to a dead QP is dropped — and the sanitizer upgrades each
+of these into a structured :class:`InvariantViolation` without changing
+any simulated outcome.
+"""
+
+import pytest
+
+from repro.check import CheckPlan, Sanitizer
+from repro.errors import InvariantViolation, QPStateError
+from repro.ib import QPState
+from repro.sim import spawn
+
+from ..conftest import build_rig
+from ..ib.test_qp_transport import _connect_pair
+
+
+def _sanitized_rig(npes=2, **plan_kwargs):
+    rig = build_rig(npes=npes)
+    plan = CheckPlan(name="qp-audit", **plan_kwargs)
+    san = Sanitizer(plan, rig.sim).install(hcas=rig.hcas)
+    return rig, san
+
+
+class TestPostAfterDestroy:
+    def test_legacy_raises_qp_state_error(self, rig2):
+        pair = _connect_pair(rig2)
+        pair["qa"].destroy()
+        with pytest.raises(QPStateError, match="is ERROR, needs RTS"):
+            pair["qa"].post_send(b"x", 1)
+
+    def test_strict_sanitizer_raises_invariant_violation(self):
+        rig, san = _sanitized_rig()
+        pair = _connect_pair(rig)
+        pair["qa"].destroy()
+        with pytest.raises(InvariantViolation) as ei:
+            pair["qa"].post_send(b"x", 1)
+        assert ei.value.layer == "ib"
+        assert ei.value.invariant == "qp.state"
+        assert ei.value.rank == 0
+
+    def test_nonstrict_records_then_falls_back_to_legacy_error(self):
+        rig, san = _sanitized_rig(strict=False)
+        pair = _connect_pair(rig)
+        pair["qa"].destroy()
+        with pytest.raises(QPStateError):
+            pair["qa"].post_send(b"x", 1)
+        assert [v.invariant for v in san.violations] == ["qp.state"]
+
+    def test_ib_layer_off_keeps_legacy_error_only(self):
+        rig, san = _sanitized_rig(ib=False)
+        pair = _connect_pair(rig)
+        pair["qa"].destroy()
+        with pytest.raises(QPStateError):
+            pair["qa"].post_send(b"x", 1)
+        assert san.violations == []
+
+
+class TestDoubleDestroy:
+    def test_legacy_second_destroy_is_silent(self, rig2):
+        pair = _connect_pair(rig2)
+        pair["qa"].destroy()
+        pair["qa"].destroy()  # no error, no state change
+        assert pair["qa"].destroyed
+        assert pair["qa"].state is QPState.ERROR
+
+    def test_strict_sanitizer_raises(self):
+        rig, san = _sanitized_rig()
+        pair = _connect_pair(rig)
+        pair["qa"].destroy()
+        with pytest.raises(InvariantViolation) as ei:
+            pair["qa"].destroy()
+        assert ei.value.invariant == "qp.double_destroy"
+        assert f"QP {pair['qa'].qpn}" in ei.value.detail
+
+    def test_nonstrict_sanitizer_collects(self):
+        rig, san = _sanitized_rig(strict=False)
+        pair = _connect_pair(rig)
+        pair["qa"].destroy()
+        pair["qa"].destroy()
+        assert [v.invariant for v in san.violations] == ["qp.double_destroy"]
+
+
+class TestDestroyWithOutstandingWRs:
+    def test_flagged_never_raised_and_conserved(self):
+        """Tearing down with traffic in flight is recorded (not raised,
+        even under strict) and the flushed WR still balances the final
+        WR-conservation audit."""
+        rig, san = _sanitized_rig()  # strict on purpose
+        pair = _connect_pair(rig)
+        pair["qa"].post_send(b"x", 1)       # WR now in flight
+        pair["qa"].destroy()                # must not raise
+        assert [v.invariant for v in san.violations] == [
+            "qp.destroy_outstanding_wrs"
+        ]
+        rig.sim.run()  # the ack lands on the dead QP and is dropped
+        assert rig.counters["hca.dropped_no_qp"] == 1
+        report = san.final_audit()
+        assert report["stats"]["wr_posted"] == 1
+        assert report["stats"]["wr_flushed"] == 1
+        # no wr.conservation (or any other) violation was added
+        assert [v["invariant"] for v in report["violations"]] == [
+            "qp.destroy_outstanding_wrs"
+        ]
+
+    def test_clean_teardown_flags_nothing(self):
+        rig, san = _sanitized_rig()
+        pair = _connect_pair(rig)
+        done = []
+
+        def proc(sim):
+            yield from rig.ctxs[0].post_send(pair["qa"], b"x", 1)
+            yield from rig.ctxs[0].poll(pair["sa"])
+            done.append(True)
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()
+        pair["qa"].destroy()
+        pair["qb"].destroy()
+        assert done == [True]
+        assert san.violations == []
+        report = san.final_audit()
+        assert report["violations"] == []
+        assert report["stats"]["wr_completed"] == 1
+
+
+class TestLateTrafficToDeadQP:
+    def test_rnr_redelivery_drop_is_legal_not_a_violation(self):
+        """The collision-loser race (redelivery to a destroyed QP) is
+        legal protocol behaviour: counted, never flagged."""
+        rig, san = _sanitized_rig()
+        ctx0, ctx1 = rig.ctxs
+
+        def scenario(sim):
+            scq0, rcq0 = ctx0.create_cq(), ctx0.create_cq()
+            scq1, rcq1 = ctx1.create_cq(), ctx1.create_cq()
+            qp0 = yield from ctx0.create_rc_qp(scq0, rcq0)
+            qp1 = yield from ctx1.create_rc_qp(scq1, rcq1)
+            yield from ctx0.connect_rc_qp(qp0, qp1.address)
+            yield from ctx1.modify_init(qp1)
+            yield from ctx0.post_send(qp0, "hello", 32)
+            yield 10.0  # after arrival, before the RNR redelivery
+            qp1.destroy()
+
+        spawn(rig.sim, scenario(rig.sim))
+        rig.sim.run()
+        assert rig.counters["rc.dropped_dead_qp"] == 1
+        assert san.violations == []

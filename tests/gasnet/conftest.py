@@ -1,10 +1,12 @@
 """Conduit-level test rig: conduits wired over the IB + PMI substrates."""
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional
 
 import pytest
 
+from repro.check import CheckPlan, Sanitizer
 from repro.cluster import Cluster, CostModel
 from repro.faults import FaultInjector, FaultPlan
 from repro.gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
@@ -23,6 +25,7 @@ class CRig:
     pmi: List[PMIClient]
     network: Optional[ConduitNetwork] = None
     faults: Optional[FaultInjector] = None
+    check: Optional[Sanitizer] = None
 
     @property
     def tracer(self) -> Tracer:
@@ -31,7 +34,7 @@ class CRig:
 
 def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
                       ready=True, faults=None, trace=False,
-                      pmi_directory=False):
+                      pmi_directory=False, check=None):
     """Assemble conduits with endpoints initialised and directory set.
 
     With ``ready=True`` every conduit is marked ready and the UD
@@ -40,7 +43,10 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
     resolves the directory lazily through a PMIX_Iallgather (so PMI
     fault plans bite).  ``faults`` installs a
     :class:`repro.faults.FaultPlan` across the fabric, HCAs and PMI
-    daemons; ``trace=True`` enables the protocol tracer.
+    daemons; ``trace=True`` enables the protocol tracer.  ``check``
+    installs a :class:`repro.check.CheckPlan` sanitizer (``REPRO_CHECK=1``
+    in the environment arms a default non-strict plan on every rig, so
+    the whole conduit suite doubles as a sanitizer soak).
     """
     cost = cost or CostModel().evolve(ud_loss_prob=0.0, ud_duplicate_prob=0.0)
     sim = Simulator()
@@ -65,7 +71,23 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
         injector = FaultInjector(faults, sim, rng, counters).install(
             fabric=fabric, hcas=hcas, pmi_domain=domain
         )
+    if check is None and os.environ.get("REPRO_CHECK", "").strip() not in ("", "0"):
+        # Soak mode: run the whole conduit suite sanitized, collecting
+        # (not raising) so legitimately fault-injected runs complete.
+        check = CheckPlan(name="env-soak", strict=False)
+    if check is True:
+        check = CheckPlan()
+    elif check is False:
+        check = None
+    elif isinstance(check, dict):
+        check = CheckPlan.from_dict(check)
+    sanitizer = None
+    if check is not None:
+        sanitizer = Sanitizer(check, sim).install(
+            hcas=hcas, pmi_domain=domain
+        )
     network = ConduitNetwork()
+    network.check = sanitizer
     network.tracer = Tracer(sim, enabled=trace)
     cls = OnDemandConduit if mode == "on-demand" else StaticConduit
     conduits = [
@@ -89,7 +111,7 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
     spawn(sim, boot(sim), name="boot")
     sim.run()
     return CRig(sim, cluster, counters, ctxs, conduits, pmi,
-                network=network, faults=injector)
+                network=network, faults=injector, check=sanitizer)
 
 
 @pytest.fixture
