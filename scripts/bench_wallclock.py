@@ -28,8 +28,11 @@ A second suite, ``--sweep``, times the :mod:`repro.exec` sweep runner:
 the same deterministic job grid is executed serially (one in-process
 worker) and in parallel (process pool), the outputs are checked for
 byte-identity, and serial/parallel wall times plus the speedup land in
-``BENCH_sweep.json``.  On a single-core host the speedup is honestly
-~1x — the JSON records ``host_cpus`` so readers can tell.
+``BENCH_sweep.json`` together with the ``worker_policy`` dict from
+:func:`repro.exec.resolve_workers_info`.  On a single-core host the
+policy resolves to the serial fallback, so the suite skips the
+pointless fork-overhead "parallel" leg and records
+``mode: serial-fallback`` instead of a sub-1x speedup.
 
 Usage::
 
@@ -55,7 +58,7 @@ from repro.apps.heat2d import Heat2D  # noqa: E402
 from repro.bench.microbench import PutLatency  # noqa: E402
 from repro.cluster import cluster_a, cluster_b  # noqa: E402
 from repro.core import Job, RuntimeConfig  # noqa: E402
-from repro.exec import JobSpec, resolve_workers, run_sweep  # noqa: E402
+from repro.exec import JobSpec, resolve_workers_info, run_sweep  # noqa: E402
 from repro.sim.profile import KernelProfile  # noqa: E402
 
 
@@ -139,6 +142,10 @@ def run_case(name: str, factory, repeats: int) -> dict:
         "events_scheduled": snap["events_scheduled"],
         "events_dispatched": snap["events_dispatched"],
         "micro_ratio": round(snap["micro_ratio"], 4),
+        "events_batched": snap["events_batched"],
+        "waves_scheduled": snap["waves_scheduled"],
+        "batch_ratio": round(snap["batch_ratio"], 4),
+        "batch_sizes": snap["batch_sizes"],
         "top_callbacks": snap["by_module"],
     }
     base = BASELINE_S.get(name)
@@ -181,8 +188,43 @@ def run_sweep_suite(args) -> dict:
         print("[sweep] ignoring REPRO_PAR for the serial/parallel A/B",
               flush=True)
     specs = _sweep_grid(args.quick)
-    workers = args.workers or resolve_workers(None, len(specs))
+    policy = resolve_workers_info(args.workers, njobs=len(specs))
+    workers = policy["workers"]
     repeats = args.repeats or (1 if args.quick else 3)
+
+    report = {
+        "suite": "sweep-quick" if args.quick else "sweep",
+        "njobs": len(specs),
+        "worker_policy": policy,
+        "host_cpus": policy["host_cpus"],
+        "repeats": repeats,
+    }
+
+    if workers <= 1:
+        # Serial fallback (single-core host or kill switch): a process
+        # pool here only pays fork overhead for a sub-1x "speedup", so
+        # record the fallback honestly instead of timing a fiction.
+        serial_times = []
+        serial_fp = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            results = run_sweep(specs, max_workers=1)
+            serial_times.append(time.perf_counter() - t0)
+            serial_fp = _sweep_fingerprint(specs, results)
+        report.update({
+            "mode": "serial-fallback",
+            "fallback_reason": policy["reason"],
+            "serial_s_min": round(min(serial_times), 4),
+            "parallel_s_min": None,
+            "speedup": None,
+            "identical_output": None,
+            "jobs": serial_fp,
+        })
+        print(f"[sweep] {len(specs)} jobs serial on "
+              f"{policy['host_cpus']} cpu(s): "
+              f"{report['serial_s_min']}s "
+              f"(parallel leg skipped: {policy['reason']})", flush=True)
+        return report
 
     serial_times, parallel_times = [], []
     serial_fp = parallel_fp = None
@@ -199,19 +241,15 @@ def run_sweep_suite(args) -> dict:
 
     identical = serial_fp == parallel_fp
     serial_s, parallel_s = min(serial_times), min(parallel_times)
-    report = {
-        "suite": "sweep-quick" if args.quick else "sweep",
-        "njobs": len(specs),
+    report.update({
+        "mode": "parallel",
         "workers": workers,
-        "host_cpus": len(os.sched_getaffinity(0))
-        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
-        "repeats": repeats,
         "serial_s_min": round(serial_s, 4),
         "parallel_s_min": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 2),
         "identical_output": identical,
         "jobs": serial_fp,
-    }
+    })
     print(f"[sweep] {len(specs)} jobs, {workers} workers on "
           f"{report['host_cpus']} cpus: serial {report['serial_s_min']}s, "
           f"parallel {report['parallel_s_min']}s "
@@ -263,7 +301,10 @@ def main(argv=None) -> int:
                  if "speedup" in entry else "")
         print(f"[bench] {name}: {entry['wall_s_min']}s min-of-{repeats}, "
               f"{entry['events_scheduled']} events, "
-              f"micro_ratio={entry['micro_ratio']}{extra}", flush=True)
+              f"micro_ratio={entry['micro_ratio']}, "
+              f"batch_ratio={entry['batch_ratio']} "
+              f"({entry['waves_scheduled']} waves)"
+              f"{extra}", flush=True)
 
     if args.output != "-":
         out = Path(args.output) if args.output else REPO_ROOT / "BENCH_wallclock.json"

@@ -9,11 +9,14 @@ Each experiment internally declares its job grid through
 ``repro.exec.run_sweep``, so independent simulations fan out across
 cores.  Control worker count with ``REPRO_PAR`` (``0``/``1`` forces
 serial in-process execution, ``N`` uses N workers, unset auto-detects).
+``REPRO_BENCH_SCALE=1`` additionally runs the 16K/32K/65,536-PE
+on-demand startup curve (minutes of wall clock, ~7 GB RSS at the top).
 
 Exits non-zero if any experiment fails; failures are collected and
 summarised rather than silently swallowed.
 """
 
+import os
 import sys
 import time
 import traceback
@@ -58,6 +61,16 @@ RUNS = [
     ("ablation_d5_qp_cache", lambda: ablation_qp_cache.run()),
 ]
 
+# The 16K/32K/65,536-PE on-demand curve costs minutes and ~7 GB RSS at
+# the top size, so it only joins the default run when asked for
+# (REPRO_BENCH_SCALE=1) — naming it explicitly on the command line
+# works regardless.
+RUNS.append(("fig5_scale", lambda: fig5_startup.run_scale()))
+if not os.environ.get("REPRO_BENCH_SCALE"):
+    _DEFAULT_SKIP = {"fig5_scale"}
+else:
+    _DEFAULT_SKIP = set()
+
 
 def main() -> int:
     OUT.mkdir(parents=True, exist_ok=True)
@@ -72,6 +85,10 @@ def main() -> int:
     failures: list = []
     for name, fn in RUNS:
         if only and name not in only:
+            continue
+        if not only and name in _DEFAULT_SKIP:
+            print(f"[{name}] skipped (set REPRO_BENCH_SCALE=1 or name it "
+                  "explicitly)", flush=True)
             continue
         start = time.time()
         print(f"[{name}] running ...", flush=True)

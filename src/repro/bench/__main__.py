@@ -34,6 +34,10 @@ EXPERIMENTS = {
     "fig2": lambda quick: fig2_radar.run(),
     "fig5a": lambda quick: fig5_startup.run(quick=quick),
     "fig5b": lambda quick: fig5_startup.run_breakdown(quick=quick),
+    # Beyond-the-paper on-demand curve; --full runs 16K/32K/65,536 PEs
+    # (minutes + several GB), quick keeps the 16K point only.
+    "fig5-scale": lambda quick: fig5_startup.run_scale(
+        sizes=fig5_startup.SCALE_SIZES[:1] if quick else None),
     "fig6ab": lambda quick: fig6_p2p.run(quick=quick),
     "fig6c": lambda quick: fig6_p2p.run_atomics(),
     "fig7ab": lambda quick: fig7_collectives.run(quick=quick),

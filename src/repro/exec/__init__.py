@@ -11,6 +11,7 @@ from .pool import (
     SweepError,
     execute,
     resolve_workers,
+    resolve_workers_info,
     run_sweep,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "SweepError",
     "execute",
     "resolve_workers",
+    "resolve_workers_info",
     "run_sweep",
 ]

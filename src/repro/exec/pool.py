@@ -53,7 +53,8 @@ from ..check import CheckPlan
 from ..errors import ConfigError
 from ..faults import FaultPlan
 
-__all__ = ["JobSpec", "SweepError", "execute", "resolve_workers", "run_sweep"]
+__all__ = ["JobSpec", "SweepError", "execute", "resolve_workers",
+           "resolve_workers_info", "run_sweep"]
 
 _TESTBEDS = ("A", "B")
 
@@ -204,16 +205,58 @@ def execute(spec: JobSpec) -> Any:
 # ----------------------------------------------------------------------
 # worker-count policy
 # ----------------------------------------------------------------------
-def resolve_workers(max_workers: Optional[int] = None,
-                    njobs: Optional[int] = None) -> int:
-    """Pick the worker count.
+def _detect_host_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers_info(max_workers: Optional[int] = None,
+                         njobs: Optional[int] = None,
+                         host_cpus: Optional[int] = None) -> Dict[str, Any]:
+    """Pick the worker count; returns the decision *and* why.
 
     Policy: ``REPRO_PAR=0`` (or ``1``) is a global kill switch forcing
     the serial path even when the caller asked for workers (single-core
     CI, debugging).  ``REPRO_PAR=N`` sets the default when the caller
     passed no explicit ``max_workers``.  With neither, auto-detect from
-    CPU affinity.  The count is clamped to the number of jobs.
+    CPU affinity.  The count is clamped to the number of jobs **and to
+    the host CPUs actually available** — oversubscribing a process pool
+    of CPU-bound simulations only adds fork and context-switch cost (a
+    2-worker sweep on a 1-CPU host measured a 0.81x "speedup"), so a
+    request beyond the affinity mask falls back rather than thrashing.
+    On a single-core host every request degrades to the serial path.
+
+    Returns a dict so callers can record the policy outcome in result
+    metadata (``BENCH_sweep.json`` stores it verbatim):
+
+    ``requested``
+        The worker count asked for (explicit argument or ``REPRO_PAR``),
+        or ``None`` for auto-detect.
+    ``host_cpus``
+        CPUs available to this process (affinity-aware).
+    ``workers``
+        The resolved count — what :func:`run_sweep` will use.
+    ``mode``
+        ``"parallel"`` or ``"serial"``.
+    ``reason``
+        Why the count differs from the request (``"REPRO_PAR kill
+        switch"``, ``"clamped to host CPUs"``, ``"single-core host"``,
+        ``"clamped to job count"``), or ``None``.
+
+    ``host_cpus`` may be passed explicitly to make the policy testable
+    independent of the machine running the tests.
     """
+    if host_cpus is None:
+        host_cpus = _detect_host_cpus()
+    info: Dict[str, Any] = {
+        "requested": max_workers,
+        "host_cpus": host_cpus,
+        "workers": 1,
+        "mode": "serial",
+        "reason": None,
+    }
     env = os.environ.get("REPRO_PAR", "").strip()
     if env:
         try:
@@ -221,17 +264,32 @@ def resolve_workers(max_workers: Optional[int] = None,
         except ValueError:
             raise ConfigError(f"REPRO_PAR must be an integer, got {env!r}")
         if env_workers <= 1:
-            return 1
+            info["reason"] = "REPRO_PAR kill switch"
+            return info
         if max_workers is None:
             max_workers = env_workers
-    if max_workers is None:
-        try:
-            max_workers = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-Linux
-            max_workers = os.cpu_count() or 1
-    if njobs is not None:
-        max_workers = min(max_workers, njobs)
-    return max(1, max_workers)
+            info["requested"] = env_workers
+    workers = max_workers if max_workers is not None else host_cpus
+    if workers > host_cpus:
+        workers = host_cpus
+        info["reason"] = ("single-core host" if host_cpus <= 1
+                          else "clamped to host CPUs")
+    if njobs is not None and workers > njobs:
+        workers = njobs
+        info["reason"] = "clamped to job count"
+    workers = max(1, workers)
+    info["workers"] = workers
+    info["mode"] = "parallel" if workers > 1 else "serial"
+    if workers == 1 and info["reason"] is None and host_cpus <= 1:
+        info["reason"] = "single-core host"
+    return info
+
+
+def resolve_workers(max_workers: Optional[int] = None,
+                    njobs: Optional[int] = None,
+                    host_cpus: Optional[int] = None) -> int:
+    """The worker count alone (see :func:`resolve_workers_info`)."""
+    return resolve_workers_info(max_workers, njobs, host_cpus)["workers"]
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,18 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["PMIDomain", "Daemon"]
 
 
+class _SucceedWith:
+    """Wave member callback: succeed each waiter with a shared result."""
+
+    __slots__ = ("result",)
+
+    def __init__(self, result: Any) -> None:
+        self.result = result
+
+    def __call__(self, ev: SimEvent) -> None:
+        ev.succeed(self.result)
+
+
 @dataclass
 class _CollectiveState:
     """Per-daemon progress of one tree collective."""
@@ -246,8 +258,13 @@ class PMIDomain:
                 when=t,
             )
         # Release local waiters after the daemon finished its down work.
+        # All waiters share one release instant, so the whole fence wave
+        # goes out as a single aggregate: one scheduler entry, one
+        # contiguous seq block — byte-identical order to the former
+        # per-waiter scheduling loop (see repro.sim.calendar).
         release_at = max(when, daemon.busy_until) + self.cost.pmi_local_rtt_us / 2
-        result = state.result
-        for ev in state.waiters:
-            self.sim._schedule_at(release_at, lambda _a, e=ev: e.succeed(result), None)
-        state.waiters = []
+        if state.waiters:
+            self.sim.schedule_wave(
+                release_at, _SucceedWith(state.result), state.waiters
+            )
+            state.waiters = []

@@ -5,8 +5,9 @@ event loop, :mod:`repro.sim.process` for generator-coroutine processes,
 and :mod:`repro.sim.sync` for synchronisation primitives.
 """
 
+from .calendar import CalendarQueue, HeapQueue, Wave
 from .engine import AllOf, AnyOf, SimEvent, SimulationError, Simulator, Timeout, Waitable
-from .process import Process, ProcessFailure, spawn
+from .process import Process, ProcessFailure, spawn, spawn_batch
 from .profile import KernelProfile
 from .rng import RngRegistry
 from .sync import Barrier, Latch, Mailbox, Semaphore
@@ -23,6 +24,10 @@ __all__ = [
     "Process",
     "ProcessFailure",
     "spawn",
+    "spawn_batch",
+    "CalendarQueue",
+    "HeapQueue",
+    "Wave",
     "KernelProfile",
     "Mailbox",
     "Semaphore",

@@ -23,11 +23,11 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from .engine import SimEvent, SimulationError, Simulator, Waitable
 
-__all__ = ["Process", "spawn", "ProcessFailure"]
+__all__ = ["Process", "spawn", "spawn_batch", "ProcessFailure"]
 
 
 class ProcessFailure(RuntimeError):
@@ -61,14 +61,16 @@ class Process(Waitable):
 
     __slots__ = ("gen", "name", "_joined")
 
-    def __init__(self, sim: Simulator, gen: Generator, name: str = "?") -> None:
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "?",
+                 _defer_start: bool = False) -> None:
         if not hasattr(gen, "send"):
             raise TypeError(f"Process requires a generator, got {type(gen)!r}")
         super().__init__(sim)
         self.gen = gen
         self.name = name
         self._joined = False
-        sim._call_soon(self._step_value, None)
+        if not _defer_start:
+            sim._call_soon(self._step_value, None)
 
     def add_callback(self, fn) -> None:  # noqa: D102 - see Waitable
         self._joined = True
@@ -91,6 +93,10 @@ class Process(Waitable):
         """
         sim = self.sim
         gen_send = self.gen.send
+        # Both queues have stable identity for the simulator's lifetime,
+        # so one load each serves every trampoline iteration.
+        micro = sim._micro
+        near = sim._near
         while True:
             try:
                 target = gen_send(send_value)
@@ -108,8 +114,11 @@ class Process(Waitable):
                     sim._schedule_at(sim.now + target, self._step_value, None)
                     return
                 if target == 0:
-                    heap = sim._heap
-                    if not sim._micro and (not heap or heap[0][0] > sim.now):
+                    # ``near`` empty ⇒ no timed event due now (later
+                    # calendar days only); wave-active ⇒ undispatched
+                    # members are invisible here, so never trampoline.
+                    if (not micro and not sim._wave_active
+                            and (not near or near[0][0] > sim.now)):
                         send_value = None
                         continue  # trampoline: nothing can interleave
                     sim._call_soon(self._step_value, None)
@@ -121,8 +130,8 @@ class Process(Waitable):
                     # Fast path: the wait is already over (message in
                     # the mailbox, semaphore free, barrier released...).
                     exc = target._exc
-                    heap = sim._heap
-                    if not sim._micro and (not heap or heap[0][0] > sim.now):
+                    if (not micro and not sim._wave_active
+                            and (not near or near[0][0] > sim.now)):
                         if exc is None:
                             send_value = target._value
                             continue  # trampoline
@@ -214,3 +223,26 @@ class Process(Waitable):
 def spawn(sim: Simulator, gen: Generator, name: str = "?") -> Process:
     """Create and start a :class:`Process` at the current simulated time."""
     return Process(sim, gen, name=name)
+
+
+def _start_step(proc: Process) -> None:
+    """Wave member callback: take a deferred process's first step."""
+    proc._step_value(None)
+
+
+def spawn_batch(sim: Simulator,
+                gens: Iterable[Tuple[Generator, str]]) -> List[Process]:
+    """Spawn many processes as one aggregate wave.
+
+    ``gens`` yields ``(generator, name)`` pairs.  The processes take
+    their first step in iteration order at the current simulated time,
+    byte-identically to a loop of :func:`spawn` calls (the wave
+    reserves the same contiguous block of sequence numbers the loop's
+    per-process ``_call_soon`` entries would have consumed), but the
+    kernel pays one scheduler entry for the whole broadcast — this is
+    the ``start_pes`` launch storm fast path.
+    """
+    procs = [Process(sim, gen, name=name, _defer_start=True)
+             for gen, name in gens]
+    sim.schedule_wave(sim.now, _start_step, procs)
+    return procs

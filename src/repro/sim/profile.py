@@ -29,6 +29,11 @@ The snapshot reports:
 ``by_module``
     ``{"module:qualname": count}`` of scheduled callbacks — where the
     event volume comes from, at function granularity.
+``events_batched`` / ``waves_scheduled`` / ``batch_ratio`` / ``batch_sizes``
+    Aggregate-wave traffic (see ``Simulator.schedule_wave``): how many
+    member events the wave fast path absorbed, how many wave entries
+    carried them, the batched fraction of all scheduled events, and a
+    ``{wave_size: count}`` histogram.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ class KernelProfile:
     """Counts every callback the kernel schedules, split by path."""
 
     __slots__ = ("sim", "heap_scheduled", "micro_scheduled", "by_module",
+                 "events_batched", "waves_scheduled", "batch_sizes",
                  "_detached_pending")
 
     def __init__(self) -> None:
@@ -66,6 +72,9 @@ class KernelProfile:
         self.heap_scheduled = 0
         self.micro_scheduled = 0
         self.by_module: Counter = Counter()
+        self.events_batched = 0
+        self.waves_scheduled = 0
+        self.batch_sizes: Counter = Counter()
         self._detached_pending: Optional[int] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -94,6 +103,19 @@ class KernelProfile:
             self.heap_scheduled += 1
         self.by_module[_callback_key(fn)] += 1
 
+    def _record_wave(self, fn: Any, n: int) -> None:
+        """Called once per ``schedule_wave`` aggregate of ``n`` members.
+
+        Members count as ``n`` scheduled (timed) events — totals stay
+        comparable across scheduler generations — and additionally as
+        batched traffic.
+        """
+        self.heap_scheduled += n
+        self.events_batched += n
+        self.waves_scheduled += 1
+        self.batch_sizes[n] += 1
+        self.by_module[_callback_key(fn)] += n
+
     # -- reporting -----------------------------------------------------
     @property
     def events_scheduled(self) -> int:
@@ -121,6 +143,11 @@ class KernelProfile:
             "heap_scheduled": self.heap_scheduled,
             "micro_scheduled": self.micro_scheduled,
             "micro_ratio": (self.micro_scheduled / total) if total else 0.0,
+            "events_batched": self.events_batched,
+            "waves_scheduled": self.waves_scheduled,
+            "batch_ratio": (self.events_batched / total) if total else 0.0,
+            "batch_sizes": {str(k): v for k, v in
+                            sorted(self.batch_sizes.items())},
             "by_module": dict(self.by_module.most_common(top)),
         }
 

@@ -16,7 +16,8 @@ from repro.apps import HelloWorld
 from repro.apps.base import Application
 from repro.core import RuntimeConfig
 from repro.errors import ConfigError
-from repro.exec import JobSpec, SweepError, execute, resolve_workers, run_sweep
+from repro.exec import (JobSpec, SweepError, execute, resolve_workers,
+                        resolve_workers_info, run_sweep)
 from repro.exec import pool as pool_mod
 from repro.faults import FaultPlan, UDFault
 from repro.sim import ProcessFailure
@@ -50,28 +51,65 @@ def _hello(npes, config=None, **kw):
 class TestResolveWorkers:
     def test_repro_par_zero_is_a_kill_switch(self, monkeypatch):
         monkeypatch.setenv("REPRO_PAR", "0")
-        assert resolve_workers(4, njobs=8) == 1
+        assert resolve_workers(4, njobs=8, host_cpus=8) == 1
 
     def test_repro_par_one_forces_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_PAR", "1")
-        assert resolve_workers(None, njobs=8) == 1
+        assert resolve_workers(None, njobs=8, host_cpus=8) == 1
 
     def test_repro_par_sets_the_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_PAR", "3")
-        assert resolve_workers(None, njobs=8) == 3
+        assert resolve_workers(None, njobs=8, host_cpus=8) == 3
 
     def test_explicit_workers_beat_repro_par_n(self, monkeypatch):
         monkeypatch.setenv("REPRO_PAR", "3")
-        assert resolve_workers(2, njobs=8) == 2
+        assert resolve_workers(2, njobs=8, host_cpus=8) == 2
 
     def test_clamped_to_job_count(self, monkeypatch):
         monkeypatch.setenv("REPRO_PAR", "16")
-        assert resolve_workers(None, njobs=3) == 3
+        assert resolve_workers(None, njobs=3, host_cpus=32) == 3
 
     def test_garbage_env_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_PAR", "many")
         with pytest.raises(ConfigError):
             resolve_workers(None, njobs=2)
+
+    def test_clamped_to_host_cpus(self, monkeypatch):
+        # Oversubscribing CPU-bound simulations is a slowdown, not a
+        # speedup — REPRO_PAR (or an explicit request) beyond the
+        # affinity mask is clamped, never honoured blindly.
+        monkeypatch.setenv("REPRO_PAR", "8")
+        info = resolve_workers_info(None, njobs=16, host_cpus=2)
+        assert info["workers"] == 2
+        assert info["mode"] == "parallel"
+        assert info["reason"] == "clamped to host CPUs"
+        assert info["requested"] == 8
+
+    def test_single_core_host_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAR", "2")
+        info = resolve_workers_info(None, njobs=6, host_cpus=1)
+        assert info["workers"] == 1
+        assert info["mode"] == "serial"
+        assert info["reason"] == "single-core host"
+
+    def test_explicit_request_is_clamped_too(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAR", raising=False)
+        info = resolve_workers_info(4, njobs=8, host_cpus=1)
+        assert info["workers"] == 1
+        assert info["reason"] == "single-core host"
+
+    def test_kill_switch_reports_its_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAR", "0")
+        info = resolve_workers_info(4, njobs=8, host_cpus=8)
+        assert info["workers"] == 1
+        assert info["reason"] == "REPRO_PAR kill switch"
+
+    def test_auto_detect_uses_host_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAR", raising=False)
+        info = resolve_workers_info(None, njobs=64, host_cpus=4)
+        assert info["workers"] == 4
+        assert info["mode"] == "parallel"
+        assert info["reason"] is None
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +166,10 @@ class TestParallelEqualsSerial:
     def test_job_results_identical(self, monkeypatch):
         monkeypatch.delenv("REPRO_PAR", raising=False)
         serial = run_sweep(_grid(), max_workers=1)
-        parallel = run_sweep(_grid(), max_workers=2)
+        # Drive the pool directly: run_sweep would (correctly) clamp to
+        # the serial path on a single-core host, but the byte-identity
+        # contract must hold wherever the pool actually runs.
+        parallel = pool_mod._run_parallel(_grid(), 2)
         # JobResult is a plain dataclass tree: == compares every field,
         # including counters and the observe=True telemetry payload.
         assert serial == parallel
@@ -166,7 +207,9 @@ class TestFailures:
         bad = JobSpec(app=Boom(), npes=4,
                       config=RuntimeConfig.proposed(), testbed="A", ppn=2)
         with pytest.raises(SweepError) as info:
-            run_sweep([good, bad], max_workers=2)
+            # Direct pool call for the same reason as above: the worker
+            # boundary is the thing under test.
+            pool_mod._run_parallel([good, bad], 2)
         assert info.value.spec == bad
         # The original exception crossed the process boundary intact
         # (ProcessFailure pickles by dropping the live Process).
