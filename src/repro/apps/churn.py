@@ -1,0 +1,127 @@
+"""Connection-churn workload: rotating skewed peer sets over epochs.
+
+The paper's applications touch a stable neighbourhood, so on-demand
+connections, once built, live until finalize.  This workload is the
+adversarial complement for the connection *lifecycle*: each epoch every
+PE talks to a small peer set, then the set rotates, so the union of
+peers ever touched grows epoch by epoch while the *working* set stays
+small.  Without idle eviction the QP footprint is the union (unbounded
+in the epoch count); with a lifecycle policy installed the reaper
+retires the cold connections during the inter-epoch idle gap and the
+footprint stays bounded by the working set (fig9_churn measures both).
+
+The peer set is deliberately skewed: partner slot 0 is *hot* — the
+same peer every epoch, receiving the most traffic — while the
+remaining slots rotate, receiving geometrically fewer requests.  A
+credit-based policy keeps the hot connection alive across epochs; pure
+LRU evicts it too during a long-enough gap, paying a reconnect on the
+next epoch.
+
+Partner selection is a golden-ratio hash of (rank, epoch, slot) — no
+RNG stream, no set iteration — so a run is reproducible from its
+parameters alone and partners land across node boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .base import Application
+
+__all__ = ["ChurnWorkload"]
+
+# Knuth multiplicative-hash constants (also used by the sim's event
+# jitter); 32-bit avalanche over the (rank, epoch, slot) triple.
+_GOLDEN = 0x9E3779B1
+_MIX1 = 0x85EBCA6B
+_MIX2 = 0xC2B2AE35
+_MASK = 0xFFFFFFFF
+
+
+def _avalanche(h: int) -> int:
+    h &= _MASK
+    h ^= h >> 15
+    h = (h * _GOLDEN) & _MASK
+    h ^= h >> 13
+    return h
+
+
+class ChurnWorkload(Application):
+    """Rotating skewed peer sets with inter-epoch idle gaps.
+
+    Parameters
+    ----------
+    epochs:
+        Number of epochs (peer-set rotations).
+    partners:
+        Peers contacted per epoch.  Slot 0 is the hot partner (stable
+        across epochs); slots 1+ rotate every epoch.
+    requests:
+        Puts to the slot-0 partner per epoch; slot ``j`` receives
+        ``max(1, requests >> j)`` — a geometric skew.
+    payload_bytes:
+        Size of each put.
+    idle_gap_us:
+        Simulated idle time after each epoch's barrier.  Set it above
+        the lifecycle policy's ``idle_timeout_us`` so the reaper can
+        retire the epoch's cold connections before the next rotation.
+    """
+
+    name = "churn"
+
+    def __init__(self, epochs: int = 4, partners: int = 3,
+                 requests: int = 4, payload_bytes: int = 1024,
+                 idle_gap_us: float = 30_000.0) -> None:
+        if epochs < 1 or partners < 1 or requests < 1:
+            raise ValueError("epochs/partners/requests must be >= 1")
+        if payload_bytes < 1 or idle_gap_us < 0:
+            raise ValueError("payload_bytes >= 1 and idle_gap_us >= 0")
+        self.epochs = epochs
+        self.partners = partners
+        self.requests = requests
+        self.payload_bytes = payload_bytes
+        self.idle_gap_us = idle_gap_us
+
+    # ------------------------------------------------------------------
+    def partner(self, rank: int, npes: int, epoch: int,
+                slot: int) -> Optional[int]:
+        """The peer PE ``rank`` contacts in ``(epoch, slot)``.
+
+        Slot 0 ignores the epoch (the hot partner); other slots fold it
+        in so the cold set rotates.  The offset is drawn from
+        ``[1, npes)`` so a PE never selects itself.
+        """
+        if npes < 2:
+            return None
+        key = rank * _MIX1 + slot * _MIX2
+        if slot > 0:
+            key += epoch * _GOLDEN
+        return (rank + 1 + _avalanche(key) % (npes - 1)) % npes
+
+    # ------------------------------------------------------------------
+    def run(self, pe) -> Generator:
+        npes, rank = pe.npes, pe.mype
+        inbox = pe.shmalloc(self.payload_bytes)
+        payload = bytes(self.payload_bytes)
+        yield from pe.barrier_all()  # inboxes allocated everywhere
+
+        puts = 0
+        for epoch in range(self.epochs):
+            for slot in range(self.partners):
+                peer = self.partner(rank, npes, epoch, slot)
+                if peer is None:
+                    break
+                for _ in range(max(1, self.requests >> slot)):
+                    yield from pe.put(peer, inbox, payload)
+                    puts += 1
+            yield from pe.barrier_all()  # epoch edge: everyone idle
+            if self.idle_gap_us > 0:
+                yield pe.sim.timeout(self.idle_gap_us)
+
+        yield from pe.barrier_all()
+        return {
+            "puts": puts,
+            "final_connections": pe.conduit.connection_count,
+            "peak_connections": pe.conduit.peak_connections,
+            "touched_peers": len(pe.conduit.touched_peers),
+        }

@@ -24,6 +24,7 @@ from .experiments import (
     fig7_collectives,
     fig8a_nas,
     fig8b_graph500,
+    fig9_churn,
     fig9_resources,
     table1_peers,
 )
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "fig8a": lambda quick: fig8a_nas.run(quick=quick),
     "fig8b": lambda quick: fig8b_graph500.run(quick=quick),
     "fig9": lambda quick: fig9_resources.run(quick=quick),
+    "fig9-churn": lambda quick: fig9_churn.run(quick=quick),
     "ablation-piggyback": lambda quick: ablation_piggyback.run(),
     "ablation-pmi": lambda quick: ablation_pmi.run(quick=quick),
     "ablation-barrier": lambda quick: ablation_barrier.run(quick=quick),

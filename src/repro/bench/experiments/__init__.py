@@ -12,6 +12,7 @@ from . import (
     fig7_collectives,
     fig8a_nas,
     fig8b_graph500,
+    fig9_churn,
     fig9_resources,
     table1_peers,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "fig8a_nas",
     "fig8b_graph500",
     "fig9_resources",
+    "fig9_churn",
     "ablation_piggyback",
     "ablation_pmi",
     "ablation_barrier",

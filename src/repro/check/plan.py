@@ -19,7 +19,7 @@ from ..errors import ConfigError
 __all__ = ["CheckPlan"]
 
 #: The auditable layers, in report order.
-_LAYERS = ("ib", "memory", "pmi", "conduit")
+_LAYERS = ("ib", "memory", "pmi", "conduit", "lifecycle")
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,9 @@ class CheckPlan:
     pmi: bool = True
     #: Handshake conformance and teardown legality.
     conduit: bool = True
+    #: Connection-lifecycle legality: drained eviction, reconnect
+    #: hygiene (no evict-with-outstanding-WRs, no reconnect storms).
+    lifecycle: bool = True
     #: Raise at the violation site (True) or collect into the report.
     strict: bool = True
 

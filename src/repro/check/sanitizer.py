@@ -48,6 +48,14 @@ conduit
     * No duplicate connection registration for one peer.
     * Teardown completeness: a closed conduit holds no connections at
       the end of the job.
+lifecycle
+    * Drained eviction: a connection must be quiesced (zero
+      outstanding WRs on its QP) before its QPs are destroyed by the
+      disconnect protocol.
+    * Reconnect hygiene: re-establishing the same (rank, peer) pair
+      more than ``RECONNECT_STORM_N`` times inside
+      ``RECONNECT_STORM_WINDOW_US`` flags an eviction-policy/workload
+      mismatch (the reaper is thrashing a hot connection).
 """
 
 from __future__ import annotations
@@ -62,6 +70,12 @@ __all__ = ["Sanitizer"]
 
 class Sanitizer:
     """Runtime state of one job's invariant auditing."""
+
+    #: Reconnects of one (rank, peer) pair inside the window that
+    #: constitute a storm (tunable class attribute, like ASan's
+    #: thresholds are env-tunable).
+    RECONNECT_STORM_N = 4
+    RECONNECT_STORM_WINDOW_US = 5_000.0
 
     def __init__(self, plan: CheckPlan, sim, obs=None) -> None:
         self.plan = plan
@@ -90,6 +104,11 @@ class Sanitizer:
         # -- conduit --------------------------------------------------
         #: (rank, peer) pairs for which ``rank`` sent a ConnectRequest.
         self._requested: set = set()
+        # -- lifecycle ------------------------------------------------
+        self._evictions = 0
+        self._reconnects = 0
+        #: (rank, peer) -> recent reconnect timestamps (storm window).
+        self._reconnect_times: Dict[tuple, List[float]] = {}
         self._installed: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
@@ -287,6 +306,41 @@ class Sanitizer:
         )
 
     # ------------------------------------------------------------------
+    # lifecycle hooks (called from repro.gasnet.ondemand_conduit)
+    # ------------------------------------------------------------------
+    def on_evict(self, rank: int, peer: int, outstanding_wrs: int) -> None:
+        """The disconnect protocol is about to destroy a drained QP."""
+        if not self.plan.lifecycle:
+            return
+        self._evictions += 1
+        if outstanding_wrs > 0:
+            self._violate(
+                "lifecycle", "lifecycle.evict_with_outstanding_wrs",
+                f"connection to {peer} evicted with {outstanding_wrs} WRs "
+                f"still in flight (drain handshake skipped the quiesce)",
+                rank=rank,
+            )
+
+    def on_reconnect(self, rank: int, peer: int) -> None:
+        """A previously evicted (rank, peer) pair re-established."""
+        if not self.plan.lifecycle:
+            return
+        self._reconnects += 1
+        now = self.sim.now
+        window = self.RECONNECT_STORM_WINDOW_US
+        times = self._reconnect_times.setdefault((rank, peer), [])
+        times.append(now)
+        while times and times[0] < now - window:
+            times.pop(0)
+        if len(times) >= self.RECONNECT_STORM_N:
+            self._violate(
+                "lifecycle", "lifecycle.reconnect_storm",
+                f"pe{rank} reconnected to {peer} {len(times)} times within "
+                f"{window:g}us (eviction policy is thrashing a hot peer)",
+                rank=rank,
+            )
+
+    # ------------------------------------------------------------------
     # installation
     # ------------------------------------------------------------------
     def install(self, hcas=None, pmi_domain=None, network=None) -> "Sanitizer":
@@ -463,5 +517,7 @@ class Sanitizer:
                 "wr_flushed": self._wr_flushed,
                 "kvs_commits": self._kvs_commits,
                 "connect_requests_seen": len(self._requested),
+                "evictions": self._evictions,
+                "reconnects": self._reconnects,
             },
         }

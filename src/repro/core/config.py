@@ -14,6 +14,7 @@ from typing import Optional
 from ..check import CheckPlan
 from ..errors import ConfigError
 from ..faults import FaultPlan
+from ..gasnet import LifecyclePolicy
 
 __all__ = ["RuntimeConfig"]
 
@@ -56,6 +57,13 @@ class RuntimeConfig:
     #: equivalent config dict, or ``True`` for the default plan);
     #: ``None`` disables auditing.
     check: Optional[CheckPlan] = None
+    #: Connection-lifecycle policy (:class:`repro.gasnet.LifecyclePolicy`
+    #: or the equivalent config dict): idle-connection reaping and
+    #: transparent reconnect on the on-demand conduit.  ``None`` (the
+    #: default) keeps eviction off — connections live until finalize,
+    #: exactly as in the paper's evaluation.  Ignored by the static
+    #: conduit, which owns no per-peer lifecycle.
+    lifecycle: Optional[LifecyclePolicy] = None
 
     def __post_init__(self) -> None:
         if self.connection_mode not in _CONNECTION_MODES:
@@ -89,6 +97,17 @@ class RuntimeConfig:
             raise ConfigError(
                 f"check must be a CheckPlan, config dict, or bool, "
                 f"got {self.check!r}"
+            )
+        if isinstance(self.lifecycle, dict):
+            object.__setattr__(
+                self, "lifecycle", LifecyclePolicy.from_dict(self.lifecycle)
+            )
+        elif self.lifecycle is not None and not isinstance(
+            self.lifecycle, LifecyclePolicy
+        ):
+            raise ConfigError(
+                f"lifecycle must be a LifecyclePolicy or config dict, "
+                f"got {self.lifecycle!r}"
             )
 
     # -- the paper's two corners ------------------------------------------

@@ -151,6 +151,13 @@ class Job:
             )
             for r in range(npes)
         ]
+        lifecycle = self.config.lifecycle
+        if (
+            lifecycle is not None and lifecycle.enabled
+            and self.config.connection_mode == "ondemand"
+        ):
+            for conduit in self.conduits:
+                conduit.install_lifecycle(lifecycle)
         self.pes = [
             ShmemPE(
                 self.sim, r, self.cluster, self.ctxs[r], self.conduits[r],

@@ -79,8 +79,14 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # UD datagrams (consulted by Fabric.transmit)
     # ------------------------------------------------------------------
-    def ud_fate(self, src_node: int, dst_node: int) -> UDVerdict:
-        """Decide the fate of one UD datagram src_node -> dst_node."""
+    def ud_fate(self, src_node: int, dst_node: int,
+                kind: Optional[str] = None) -> UDVerdict:
+        """Decide the fate of one UD datagram src_node -> dst_node.
+
+        ``kind`` is the payload's class name (``None`` when the caller
+        does not discriminate); rules with a ``kind`` only fire on a
+        matching datagram.
+        """
         plan_ud = self.plan.ud
         if not plan_ud:
             return _NO_FAULT
@@ -91,6 +97,8 @@ class FaultInjector:
             if rule.src is not None and rule.src != src_node:
                 continue
             if rule.dst is not None and rule.dst != dst_node:
+                continue
+            if rule.kind is not None and rule.kind != kind:
                 continue
             if rule.window is not None and not (
                 rule.window[0] <= now < rule.window[1]

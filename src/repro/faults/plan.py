@@ -77,6 +77,11 @@ class UDFault:
     #: Source / destination node index (``None`` matches any).
     src: Optional[int] = None
     dst: Optional[int] = None
+    #: Payload class name to match (e.g. ``"ConnectRequest"``,
+    #: ``"Disconnect"``, ``"DisconnectAck"``); ``None`` matches any
+    #: datagram.  Lets a plan target one leg of a handshake — "drop
+    #: every DisconnectAck" — without touching the rest.
+    kind: Optional[str] = None
     #: Per-matching-packet firing probability.
     prob: float = 1.0
     #: Fire on at most the first N matching packets, then go inert.
@@ -99,6 +104,13 @@ class UDFault:
         _check_window(self.window, "UDFault")
         if self.delay_us < 0 or self.jitter_us < 0:
             raise ConfigError("UDFault: delay_us/jitter_us must be >= 0")
+        if self.kind is not None and (
+            not isinstance(self.kind, str) or not self.kind
+        ):
+            raise ConfigError(
+                f"UDFault: kind must be a non-empty payload class name "
+                f"or None, got {self.kind!r}"
+            )
 
 
 @dataclass(frozen=True)

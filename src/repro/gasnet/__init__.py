@@ -1,7 +1,14 @@
 """GASNet-like conduits: active messages, static and on-demand wiring."""
 
 from .conduit import Conduit, ConduitNetwork, Connection
-from .messages import ActiveMessage, ConnectReply, ConnectRequest
+from .lifecycle import LifecyclePolicy, select_victims
+from .messages import (
+    ActiveMessage,
+    ConnectReply,
+    ConnectRequest,
+    Disconnect,
+    DisconnectAck,
+)
 from .ondemand_conduit import OnDemandConduit
 from .segment import SegmentInfo, SegmentTable, decode_segments, encode_segments
 from .static_conduit import StaticConduit
@@ -13,6 +20,10 @@ __all__ = [
     "ActiveMessage",
     "ConnectRequest",
     "ConnectReply",
+    "Disconnect",
+    "DisconnectAck",
+    "LifecyclePolicy",
+    "select_victims",
     "OnDemandConduit",
     "StaticConduit",
     "SegmentInfo",

@@ -43,7 +43,13 @@ from ..ib import (
 from ..ib.types import Opcode, WCStatus
 from ..pmi import PMIClient, PMIHandle
 from ..sim import Semaphore, SimEvent, Simulator, Tracer, spawn
-from .messages import ActiveMessage, ConnectReply, ConnectRequest
+from .messages import (
+    ActiveMessage,
+    ConnectReply,
+    ConnectRequest,
+    Disconnect,
+    DisconnectAck,
+)
 
 __all__ = ["Conduit", "ConduitNetwork", "Connection"]
 
@@ -87,6 +93,11 @@ class Connection:
     qp: RCQueuePair
     send_cq: CompletionQueue
     lock: Semaphore
+    #: Lifecycle bookkeeping — only maintained when an eviction policy
+    #: is installed (:class:`repro.gasnet.lifecycle.LifecyclePolicy`);
+    #: stays at the defaults otherwise.
+    last_used_us: float = 0.0
+    credits: int = 0
 
 
 class Conduit:
@@ -144,6 +155,15 @@ class Conduit:
         #: Distinct peers this PE initiated communication with over any
         #: path (fabric or intra-node) — what Table I counts.
         self.touched_peers: set = set()
+
+        #: Eviction policy (:class:`~repro.gasnet.lifecycle.
+        #: LifecyclePolicy`) or None.  Installed only on the on-demand
+        #: conduit; every lifecycle code path hides behind this one
+        #: pointer check, like obs/faults/check.
+        self.lifecycle = None
+        #: High-water mark of simultaneously established connections
+        #: (what a bounded-footprint claim is measured against).
+        self.peak_connections = 0
 
         #: Non-blocking-implicit RMA tracking (shmem_*_nbi + quiet).
         self._nbi_outstanding = 0
@@ -262,6 +282,12 @@ class Conduit:
             peer=peer, qp=qp, send_cq=send_cq, lock=Semaphore(self.sim, 1)
         )
         self._conns[peer] = conn
+        if len(self._conns) > self.peak_connections:
+            self.peak_connections = len(self._conns)
+        lc = self.lifecycle
+        if lc is not None:
+            conn.last_used_us = self.sim.now
+            conn.credits = lc.credits
         self.counters.add("conduit.connections")
         tr = self.tracer
         if tr is not None and tr.enabled:
@@ -272,6 +298,28 @@ class Conduit:
         """Guarantee an RC connection to ``peer`` exists (may block)."""
         raise NotImplementedError
         yield  # pragma: no cover
+
+    def _acquire_conn(self, peer: int) -> Generator:
+        """Connect (if needed) and return the connection, lock held.
+
+        Re-validates after the lock acquisition: with a lifecycle policy
+        installed the reaper can evict the connection between
+        ``ensure_connected`` and the acquire (the drain itself holds the
+        lock), so a poster waking up must check it still owns the *live*
+        incarnation and transparently reconnect otherwise.  The caller
+        must release ``conn.lock``.
+        """
+        while True:
+            yield from self.ensure_connected(peer)
+            conn = self._conns[peer]
+            yield conn.lock.acquire()
+            if self._conns.get(peer) is conn:
+                lc = self.lifecycle
+                if lc is not None:
+                    conn.last_used_us = self.sim.now
+                    conn.credits = lc.credits
+                return conn
+            conn.lock.release()
 
     # ------------------------------------------------------------------
     # progress engine
@@ -291,8 +339,18 @@ class Conduit:
             elif isinstance(msg, ConnectReply):
                 yield from self._on_connect_reply(msg)
             elif isinstance(msg, ActiveMessage):
+                lc = self.lifecycle
+                if lc is not None:
+                    conn = self._conns.get(msg.src_rank)
+                    if conn is not None:
+                        conn.last_used_us = self.sim.now
+                        conn.credits = lc.credits
                 yield self.cost.am_handler_cpu_us
                 yield from self._dispatch_am(msg)
+            elif isinstance(msg, Disconnect):
+                yield from self._on_disconnect(msg)
+            elif isinstance(msg, DisconnectAck):
+                yield from self._on_disconnect_ack(msg)
             else:  # pragma: no cover - protocol guard
                 raise ConduitError(
                     f"PE {self.rank}: unexpected message {msg!r}"
@@ -305,6 +363,21 @@ class Conduit:
 
     def _on_connect_reply(self, rep: ConnectReply) -> Generator:
         raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _on_disconnect(self, msg: Disconnect) -> Generator:
+        """Only the on-demand conduit retires connections."""
+        raise ConduitError(
+            f"PE {self.rank}: unexpected Disconnect from {msg.src_rank} "
+            f"on a {self.mode} conduit"
+        )
+        yield  # pragma: no cover
+
+    def _on_disconnect_ack(self, msg: DisconnectAck) -> Generator:
+        raise ConduitError(
+            f"PE {self.rank}: unexpected DisconnectAck from "
+            f"{msg.src_rank} on a {self.mode} conduit"
+        )
         yield  # pragma: no cover
 
     def _serve_request(self, req: ConnectRequest) -> Generator:
@@ -354,9 +427,7 @@ class Conduit:
         if peer == self.rank or self.cluster.same_node(peer, self.rank):
             yield from self._intra_deliver(peer, msg)
             return
-        yield from self.ensure_connected(peer)
-        conn = self._conns[peer]
-        yield conn.lock.acquire()
+        conn = yield from self._acquire_conn(peer)
         try:
             yield from self.ctx.post_send(conn.qp, msg, msg.nbytes)
             yield from self.ctx.poll(conn.send_cq)  # ack
@@ -389,9 +460,7 @@ class Conduit:
             yield self.cost.intra_node_time(len(data))
             self.network.peer(peer).ctx.mm.rdma_write(raddr, rkey, data)
             return
-        yield from self.ensure_connected(peer)
-        conn = self._conns[peer]
-        yield conn.lock.acquire()
+        conn = yield from self._acquire_conn(peer)
         try:
             yield from self.ctx.post_rdma_write(conn.qp, data, raddr, rkey)
             yield from self.ctx.poll(conn.send_cq)
@@ -409,9 +478,7 @@ class Conduit:
         if peer == self.rank or self.cluster.same_node(peer, self.rank):
             yield self.cost.intra_node_time(nbytes)
             return self.network.peer(peer).ctx.mm.rdma_read(raddr, rkey, nbytes)
-        yield from self.ensure_connected(peer)
-        conn = self._conns[peer]
-        yield conn.lock.acquire()
+        conn = yield from self._acquire_conn(peer)
         try:
             yield from self.ctx.post_rdma_read(conn.qp, nbytes, raddr, rkey)
             wc = yield from self.ctx.poll(conn.send_cq)
@@ -430,9 +497,7 @@ class Conduit:
             return self.network.peer(peer).ctx.mm.atomic(
                 raddr, rkey, op, compare, operand
             )
-        yield from self.ensure_connected(peer)
-        conn = self._conns[peer]
-        yield conn.lock.acquire()
+        conn = yield from self._acquire_conn(peer)
         try:
             yield from self.ctx.post_atomic(
                 conn.qp, op, raddr, rkey, compare=compare, swap_or_add=operand
@@ -511,8 +576,7 @@ class Conduit:
         FIFO and every poster registers its CQ waiter in post order
         (registration happens before the lock is released).
         """
-        conn = self._conns[peer]
-        yield conn.lock.acquire()
+        conn = yield from self._acquire_conn(peer)
         try:
             if op == "write":
                 yield from self.ctx.post_rdma_write(conn.qp, data, raddr, rkey)

@@ -10,7 +10,13 @@ from typing import Any
 
 from ..ib import EndpointAddress
 
-__all__ = ["ConnectRequest", "ConnectReply", "ActiveMessage"]
+__all__ = [
+    "ConnectRequest",
+    "ConnectReply",
+    "Disconnect",
+    "DisconnectAck",
+    "ActiveMessage",
+]
 
 #: Fixed header bytes for the connect handshake messages (rank, qpn,
 #: lid, flags — roughly what the mvapich2x conduit sends).
@@ -83,6 +89,62 @@ class ConnectReply:
             f"ConnectReply(src_rank={self.src_rank}, "
             f"rc_addr={self.rc_addr!r})"
         )
+
+
+class Disconnect:
+    """UD disconnect request: initiator -> target (establish in reverse).
+
+    ``gen`` is the initiator's generation number for this connection
+    (how many times the pair has connected): a retransmitted Disconnect
+    from a *previous* incarnation must not tear down a fresh
+    reconnection, so acks echo the generation and stale ones are
+    dropped.
+    """
+
+    __slots__ = ("src_rank", "gen", "attempt", "span_id")
+
+    def __init__(
+        self,
+        src_rank: int,
+        gen: int,
+        attempt: int = 0,
+        span_id=None,
+    ) -> None:
+        self.src_rank = src_rank
+        self.gen = gen
+        #: Retransmission attempt (for tracing/diagnostics only).
+        self.attempt = attempt
+        #: Flight-recorder span context (int or None); not in nbytes.
+        self.span_id = span_id
+
+    @property
+    def nbytes(self) -> int:
+        return CONNECT_HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Disconnect(src_rank={self.src_rank}, gen={self.gen}, "
+            f"attempt={self.attempt})"
+        )
+
+
+class DisconnectAck:
+    """UD disconnect ack: target -> initiator, echoing ``gen``."""
+
+    __slots__ = ("src_rank", "gen", "span_id")
+
+    def __init__(self, src_rank: int, gen: int, span_id=None) -> None:
+        self.src_rank = src_rank
+        self.gen = gen
+        #: Flight-recorder span context (int or None); not in nbytes.
+        self.span_id = span_id
+
+    @property
+    def nbytes(self) -> int:
+        return CONNECT_HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DisconnectAck(src_rank={self.src_rank}, gen={self.gen})"
 
 
 class ActiveMessage:

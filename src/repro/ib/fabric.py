@@ -79,7 +79,9 @@ class Fabric:
             obs = self.obs
             faults = self.faults
             if faults is not None:
-                dropped, extra, dup_delays = faults.ud_fate(src.node, dst.node)
+                dropped, extra, dup_delays = faults.ud_fate(
+                    src.node, dst.node, type(packet.payload).__name__
+                )
                 if dropped:
                     self.counters.add("fabric.ud_dropped")
                     if obs is not None:

@@ -19,13 +19,17 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from ..cluster import CostModel
 from ..sim import Counters, Simulator
 from .memory import MemoryManager, MemoryRegion
+from .types import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultInjector
     from .fabric import Fabric
-    from .types import Packet
 
 __all__ = ["HCA"]
+
+#: RC request kinds a dead QP must NAK (responses/acks are dropped —
+#: NAKing a NAK or an ack would ping-pong between two dead QPs).
+_NAKABLE_KINDS = ("send", "rdma_write", "rdma_read_req", "atomic_req")
 
 
 class HCA:
@@ -154,9 +158,31 @@ class HCA:
         """Fabric delivery callback (runs at packet-arrival time)."""
         qp = self._qps.get(packet.dst_qpn)
         if qp is None:
-            # Packet for a QP that does not (or no longer) exists: on
-            # real hardware this is silently dropped (UD) or NAKed; our
-            # protocols never rely on it, so drop and count.
+            if packet.kind in _NAKABLE_KINDS:
+                # An RC *request* aimed at a destroyed QP (e.g. one a
+                # disconnect evicted while the WR was in flight): real
+                # hardware NAKs it.  The requester turns the NAK into a
+                # WCStatus.REMOTE_ACCESS_ERROR completion — same
+                # discipline as the deregister race — never a stale
+                # write-through, never a hang on a swallowed WR.
+                self.counters.add("hca.nak_dead_qp")
+                self.fabric.transmit(self, Packet(
+                    kind="nak",
+                    dst_lid=packet.src_lid,
+                    dst_qpn=packet.src_qpn,
+                    src_lid=self.lid,
+                    src_qpn=packet.dst_qpn,
+                    nbytes=16,
+                    token=packet.token,
+                    payload=(
+                        f"LID {self.lid:#x}: QP {packet.dst_qpn} destroyed"
+                    ),
+                ))
+                return
+            # Responses/acks/UD for a missing QP: on real hardware
+            # these are silently dropped; our protocols never rely on
+            # them (and NAKing a response could ping-pong), so drop
+            # and count.
             self.counters.add("hca.dropped_no_qp")
             return
         penalty = 0.0

@@ -32,6 +32,6 @@ def test_every_registered_name_is_callable():
     # The registry must stay in sync with the experiments package.
     from repro.bench import experiments
 
-    assert len(EXPERIMENTS) == 17
+    assert len(EXPERIMENTS) == 18
     for name, fn in EXPERIMENTS.items():
         assert callable(fn), name

@@ -48,7 +48,7 @@ class TestReportShape:
 
     def test_empty_plan_never_installs(self):
         plan = CheckPlan(name="nothing", ib=False, memory=False,
-                         pmi=False, conduit=False)
+                         pmi=False, conduit=False, lifecycle=False)
         job = Job(npes=4, config=RuntimeConfig.proposed(),
                   cluster=cluster_a(4, ppn=4), check=plan)
         assert job.sanitizer is None  # zero hooks armed, zero cost

@@ -188,3 +188,61 @@ class TestSanitizedRevokedAccess:
         spawn(rig.sim, self._scenario(rig, pair, swallow=True)(rig.sim))
         rig.sim.run()
         assert san.violations == []
+
+
+class TestEvictionRacesInFlightWrite:
+    """The revoked-access discipline extended to evicted QPs: a WR in
+    flight when a disconnect destroys the target's QP must NAK back to
+    the requester, not write through or vanish."""
+
+    def test_write_in_flight_to_destroyed_qp_naks_at_requester(self):
+        rig = build_rig(npes=2)
+        pair = _connect_pair(rig)
+        ctx0, ctx1 = rig.ctxs
+        observed = {}
+
+        def proc(sim):
+            addr = ctx1.mm.alloc(64)
+            region = yield from ctx1.reg_mr(addr)
+            yield from ctx0.post_rdma_write(
+                pair["qa"], b"DATA", region.addr, region.rkey
+            )
+            # The write is on the wire; an eviction destroys the
+            # target's half before it lands (zero simulated time
+            # between post and destroy, packet still in flight).
+            pair["qb"].destroy()
+            try:
+                yield from ctx0.poll(pair["sa"])
+            except RemoteAccessError as exc:
+                observed["error"] = str(exc)
+            observed["bytes"] = ctx1.mm.read_local(addr, 4)
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()  # pre-fix: the WR was swallowed and poll hung
+        assert "destroyed" in observed["error"]
+        assert observed["bytes"] == b"\x00" * 4  # never written through
+        assert rig.counters["hca.nak_dead_qp"] == 1
+        assert rig.counters["hca.dropped_no_qp"] == 0
+
+    def test_read_in_flight_to_destroyed_qp_also_naks(self):
+        rig = build_rig(npes=2)
+        pair = _connect_pair(rig)
+        ctx0, ctx1 = rig.ctxs
+        failures = []
+
+        def proc(sim):
+            addr = ctx1.mm.alloc(64)
+            region = yield from ctx1.reg_mr(addr)
+            yield from ctx0.post_rdma_read(
+                pair["qa"], 32, region.addr, region.rkey
+            )
+            pair["qb"].destroy()
+            try:
+                yield from ctx0.poll(pair["sa"])
+            except RemoteAccessError as exc:
+                failures.append(str(exc))
+
+        spawn(rig.sim, proc(rig.sim))
+        rig.sim.run()
+        assert len(failures) == 1 and "destroyed" in failures[0]
+        assert rig.counters["hca.nak_dead_qp"] == 1

@@ -14,15 +14,17 @@ class TestCheckPlan:
         plan = CheckPlan()
         assert plan.name == "check"
         assert plan.ib and plan.memory and plan.pmi and plan.conduit
+        assert plan.lifecycle
         assert plan.strict
         assert not plan.empty
 
     def test_empty_when_no_layer_armed(self):
-        plan = CheckPlan(ib=False, memory=False, pmi=False, conduit=False)
+        plan = CheckPlan(ib=False, memory=False, pmi=False, conduit=False,
+                         lifecycle=False)
         assert plan.empty
         # strict alone does not make the plan do anything
         assert CheckPlan(ib=False, memory=False, pmi=False, conduit=False,
-                         strict=True).empty
+                         lifecycle=False, strict=True).empty
 
     def test_round_trip_through_dict(self):
         plan = CheckPlan(name="teardown", pmi=False, strict=False)

@@ -196,3 +196,118 @@ class TestStaticTeardown:
             conduits=rig.conduits, pmi_clients=rig.pmi
         )
         assert [v["invariant"] for v in report["violations"]] == []
+
+
+class TestServingTTLTimerAfterClose:
+    def test_ttl_timer_firing_post_shutdown_is_inert(self):
+        """The serving-cache TTL timer is scheduled at serve time and
+        can fire long after finalize cleared the cache.  Pre-fix,
+        _evict_serving ran unguarded on the closed conduit and bumped
+        conduit.serving_evicted for an entry shutdown had already
+        swept; the guard makes the late firing a no-op."""
+        cost = CostModel().evolve(**FAST_RETRY)
+        rig = build_conduit_rig(
+            npes=2, cost=cost, check=CheckPlan(name="teardown")
+        )
+        c0, c1 = rig.conduits
+        c1.register_handler("ping", lambda src, data: None)
+        observed = {}
+
+        def scenario():
+            yield from c0.am_send(1, "ping")
+            # The serve just cached its reply; its TTL timer (the full
+            # client retry schedule) is pending.  Finalize beats it.
+            observed["serving_at_close"] = dict(c1._serving)
+            yield from c1.shutdown()
+            yield from c0.shutdown()
+
+        spawn(rig.sim, scenario(), name="scenario")
+        rig.sim.run()  # runs past the TTL firing on the closed conduit
+        assert observed["serving_at_close"] != {}  # the timer had a target
+        assert c1._serving == {}
+        assert rig.counters["conduit.serving_evicted"] == 0
+        assert rig.check.violations == []
+
+
+class TestChaosShutdown:
+    def test_total_ud_blackout_senders_fail_and_finalize_completes(self):
+        """Every UD datagram dropped: both concurrent senders burn
+        their whole retry budget and raise; finalize must then run to
+        completion (pre-fix, a wedged drain event left shutdown
+        waiting forever) and leave nothing behind."""
+        cost = CostModel().evolve(**FAST_RETRY)
+        plan = FaultPlan(name="blackout", ud=(UDFault("drop"),))
+        rig = build_conduit_rig(
+            npes=2, cost=cost, faults=plan,
+            check=CheckPlan(name="chaos", strict=False),
+        )
+        c0, c1 = rig.conduits
+        c0.register_handler("ping", lambda src, data: None)
+        c1.register_handler("ping", lambda src, data: None)
+        errors = []
+
+        def sender(conduit, peer):
+            try:
+                yield from conduit.am_send(peer, "ping")
+            except ConduitError as exc:
+                errors.append((conduit.rank, str(exc)))
+
+        def scenario():
+            s0 = spawn(rig.sim, sender(c0, 1), name="s0")
+            s1 = spawn(rig.sim, sender(c1, 0), name="s1")
+            yield s0
+            yield s1
+            yield from c0.shutdown()
+            yield from c1.shutdown()
+            errors.append("finalized")
+
+        spawn(rig.sim, scenario(), name="scenario")
+        rig.sim.run()
+        assert errors[-1] == "finalized"
+        assert len(errors) == 3  # both senders errored, then finalize
+        assert _rc_qps_alive(rig) == []
+        assert c0._pending == {} and c1._pending == {}
+        report = rig.check.final_audit(
+            conduits=rig.conduits, pmi_clients=rig.pmi
+        )
+        assert report["violations"] == []
+
+    def test_reply_blackout_serve_survives_to_finalize_sweep(self):
+        """Replies all dropped: the server serves (and registers a
+        connection) while the client never learns of it and errors
+        out.  Finalize on the server must drain the serve and sweep
+        the orphaned connection — the re-armed serves_drained event
+        covers serves that re-enter after the drain loop last looked."""
+        cost = CostModel().evolve(**FAST_RETRY)
+        plan = FaultPlan(
+            name="reply-blackout",
+            ud=(UDFault("drop", kind="ConnectReply"),),
+        )
+        rig = build_conduit_rig(
+            npes=2, cost=cost, faults=plan,
+            check=CheckPlan(name="chaos", strict=False),
+        )
+        c0, c1 = rig.conduits
+        c1.register_handler("ping", lambda src, data: None)
+        errors = []
+
+        def scenario():
+            try:
+                yield from c0.am_send(1, "ping")
+            except ConduitError as exc:
+                errors.append(str(exc))
+            yield from c0.shutdown()
+            yield from c1.shutdown()
+
+        spawn(rig.sim, scenario(), name="scenario")
+        rig.sim.run()
+        assert len(errors) == 1
+        assert rig.counters["faults.ud_dropped"] >= 1
+        # The server side did serve — and finalize swept its half.
+        assert rig.counters["conduit.connections"] >= 1
+        assert c1._conns == {} and c1._active_serves == 0
+        assert _rc_qps_alive(rig) == []
+        report = rig.check.final_audit(
+            conduits=rig.conduits, pmi_clients=rig.pmi
+        )
+        assert report["violations"] == []

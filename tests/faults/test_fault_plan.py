@@ -118,3 +118,16 @@ class TestConfigAndJobWiring:
         job = Job(npes=4, config=cfg)
         assert job.fault_injector is not None
         assert job.fault_injector.plan is cfg.fault_plan
+
+
+class TestKindValidation:
+    def test_kind_must_be_nonempty_string(self):
+        with pytest.raises(ConfigError):
+            UDFault("drop", kind="")
+        with pytest.raises(ConfigError):
+            UDFault("drop", kind=42)
+
+    def test_kind_round_trips_through_dict(self):
+        plan = FaultPlan(ud=(UDFault("drop", kind="DisconnectAck"),))
+        again = FaultPlan.from_dict(plan.as_dict())
+        assert again.ud[0].kind == "DisconnectAck"

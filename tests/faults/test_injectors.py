@@ -210,3 +210,57 @@ class TestNoPlanIsNoop:
         rig.hcas[0].try_alloc_rc_context(0)
         _run(rig, ud_send(rig, 0, 1, "msg"))
         assert [p for p, _ in rig.arrivals[1]] == ["msg"]
+
+
+class TestKindScopedUDFaults:
+    """``UDFault.kind`` scopes a rule to one payload class name, so a
+    plan can target a single leg of a handshake (e.g. "drop every
+    DisconnectAck") without touching the rest of the protocol."""
+
+    def test_kind_match_fires_and_mismatch_skips(self):
+        plan = FaultPlan(ud=(UDFault("drop", kind="str"),))
+        rig = build_ud_rig(plan=plan)
+
+        def sender():
+            yield from ud_send(rig, 0, 1, "m0")
+
+        _run(rig, sender())
+        # The UD rig's payloads are plain strings, so kind="str" bites.
+        assert rig.arrivals[1] == []
+        assert rig.counters["faults.ud_dropped"] == 1
+
+    def test_unmatched_kind_is_inert(self):
+        plan = FaultPlan(ud=(UDFault("drop", kind="DisconnectAck"),))
+        rig = build_ud_rig(plan=plan)
+
+        def sender():
+            yield from ud_send(rig, 0, 1, "m0")
+
+        _run(rig, sender())
+        assert [p for p, _ in rig.arrivals[1]] == ["m0"]
+        assert rig.counters["faults.ud_dropped"] == 0
+
+    def test_kind_verdict_unit(self):
+        """Direct ud_fate calls: the rule consults the caller-supplied
+        kind, and a None kind (caller does not discriminate) never
+        matches a kind-scoped rule."""
+        plan = FaultPlan(ud=(UDFault("drop", kind="Disconnect"),))
+        rig = build_ud_rig(plan=plan)
+        inj = rig.injector
+        assert inj.ud_fate(0, 1, kind="Disconnect")[0] is True
+        assert inj.ud_fate(0, 1, kind="DisconnectAck")[0] is False
+        assert inj.ud_fate(0, 1)[0] is False
+
+    def test_kind_composes_with_first_n(self):
+        plan = FaultPlan(ud=(UDFault("drop", kind="str", first_n=1),))
+        rig = build_ud_rig(plan=plan)
+
+        def sender():
+            yield from ud_send(rig, 0, 1, "m0")
+            yield 10.0
+            yield from ud_send(rig, 0, 1, "m1")
+
+        _run(rig, sender())
+        # Budget spent on the first matching datagram only.
+        assert [p for p, _ in rig.arrivals[1]] == ["m1"]
+        assert rig.counters["faults.ud_dropped"] == 1

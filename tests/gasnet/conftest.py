@@ -34,7 +34,8 @@ class CRig:
 
 def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
                       ready=True, faults=None, trace=False,
-                      pmi_directory=False, check=None):
+                      pmi_directory=False, check=None, lifecycle=None,
+                      scheduler="calendar"):
     """Assemble conduits with endpoints initialised and directory set.
 
     With ``ready=True`` every conduit is marked ready and the UD
@@ -49,7 +50,7 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
     the whole conduit suite doubles as a sanitizer soak).
     """
     cost = cost or CostModel().evolve(ud_loss_prob=0.0, ud_duplicate_prob=0.0)
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     cluster = Cluster(npes=npes, ppn=ppn, cost=cost, name="crig")
     counters = Counters()
     rng = RngRegistry(seed)
@@ -93,6 +94,9 @@ def build_conduit_rig(npes=2, ppn=1, mode="on-demand", cost=None, seed=3,
     conduits = [
         cls(sim, network, ctxs[r], cluster, pmi[r], r) for r in range(npes)
     ]
+    if lifecycle is not None and mode == "on-demand":
+        for c in conduits:
+            c.install_lifecycle(lifecycle)
 
     def boot(sim):
         for c in conduits:

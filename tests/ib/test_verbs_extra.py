@@ -45,8 +45,10 @@ class TestTeardown:
             100 * rig2.cluster.cost.qp_destroy_us
         )
 
-    def test_packets_to_destroyed_qp_are_dropped(self, rig2):
-        """Silent drop + counter, as real HCAs do for stale QPNs."""
+    def test_send_to_destroyed_qp_is_naked(self, rig2):
+        """An RC *request* aimed at a destroyed QP is NAKed back to the
+        requester (surfacing as an error completion), as real HCAs do —
+        never silently swallowed, which would hang the sender."""
         ctx0, ctx1 = rig2.ctxs
         out = {}
 
@@ -64,7 +66,8 @@ class TestTeardown:
         spawn(rig2.sim, proc(rig2.sim))
         rig2.sim.run()
         assert out["ok"]
-        assert rig2.counters["hca.dropped_no_qp"] >= 1
+        assert rig2.counters["hca.nak_dead_qp"] >= 1
+        assert rig2.counters["hca.dropped_no_qp"] == 0
 
 
 class TestMemoryLifecycle:

@@ -26,17 +26,29 @@ fixture::
 
 from pathlib import Path
 
+import pytest
+
 from repro.apps import HelloWorld
 from repro.cluster import cluster_b
 from repro.core import Job, RuntimeConfig
+from repro.gasnet import LifecyclePolicy
 
 FIXTURE = Path(__file__).parent.parent / "data" / "golden_trace_ondemand_128.txt"
 
 
-def test_ondemand_startup_trace_matches_golden_fixture():
+@pytest.mark.parametrize("lifecycle", [
+    None, LifecyclePolicy(enabled=False),
+], ids=["no-policy", "policy-disabled"])
+def test_ondemand_startup_trace_matches_golden_fixture(lifecycle):
+    """The pre-lifecycle golden trace, byte for byte.
+
+    The ``policy-disabled`` variant pins the lifecycle machinery's
+    off-path cost to zero: a compiled-in-but-disabled policy must not
+    shift a single timestamp or reorder a single message.
+    """
     job = Job(
         npes=128,
-        config=RuntimeConfig.proposed(),
+        config=RuntimeConfig.proposed(lifecycle=lifecycle),
         cluster=cluster_b(128, ppn=16),
         trace=True,
     )
