@@ -20,6 +20,12 @@ Three gates, all on one job:
    events) and contain the lifecycle span types (``conduit.disconnect``
    on the initiator, ``conduit.drain`` on the target).
 
+4. **Timeline**: the run samples the connection-footprint time-series,
+   whose recorded ``conduit.peak_connections`` maximum must equal the
+   scalar high-water mark the PEs report — the sampled timeline is a
+   faithful view, not an approximation.  ``--footprint-csv FILE``
+   writes the full series as CSV (uploaded as a CI artifact).
+
 Usage::
 
     PYTHONPATH=src python scripts/churn_smoke.py            # defaults
@@ -40,22 +46,27 @@ from repro.apps import ChurnWorkload  # noqa: E402
 from repro.cluster import cluster_a  # noqa: E402
 from repro.core import Job, RuntimeConfig  # noqa: E402
 from repro.gasnet import LifecyclePolicy  # noqa: E402
-from repro.obs import validate_chrome_trace  # noqa: E402
+from repro.obs import (  # noqa: E402
+    series_peak,
+    timeline_csv,
+    validate_chrome_trace,
+)
 
 EPOCHS = 6
 PARTNERS = 4
 IDLE_GAP_US = 30_000.0
 
 
-def churn_gate(npes: int) -> bool:
+def churn_gate(npes: int, footprint_csv: str = None) -> bool:
     print(f"[churn-smoke] {npes}-PE churn epoch, strict sanitizer, "
-          "flight recorder on ...", flush=True)
+          "flight recorder + timeline on ...", flush=True)
     t0 = time.perf_counter()
     app = ChurnWorkload(epochs=EPOCHS, partners=PARTNERS, requests=4,
                         idle_gap_us=IDLE_GAP_US)
     policy = LifecyclePolicy(policy="lru")
     job = Job(npes=npes, config=RuntimeConfig.proposed(lifecycle=policy),
-              cluster=cluster_a(npes, ppn=8), observe=True, check=True)
+              cluster=cluster_a(npes, ppn=8),
+              observe={"timeline": True}, check=True)
     result = job.run(app)
     wall = time.perf_counter() - t0
 
@@ -87,6 +98,18 @@ def churn_gate(npes: int) -> bool:
     print(f"[churn-smoke] sanitizer: evictions={stats['evictions']} "
           f"reconnects={stats['reconnects']} violations=0", flush=True)
 
+    snapshot = result.telemetry["timeline"]
+    tl_peak = series_peak(snapshot["series"]["conduit.peak_connections"])
+    print(f"[churn-smoke] timeline: {snapshot['samples']} samples, "
+          f"footprint peak {tl_peak}", flush=True)
+    if int(tl_peak) != int(peak):
+        print(f"[churn-smoke] FAIL: timeline peak {tl_peak} != scalar "
+              f"peak {peak}", flush=True)
+        ok = False
+    if footprint_csv:
+        Path(footprint_csv).write_text(timeline_csv(snapshot))
+        print(f"[churn-smoke] wrote {footprint_csv}", flush=True)
+
     trace = job.obs.chrome_trace(label=f"churn-smoke {npes} PEs")
     phases = validate_chrome_trace(trace)
     names = {ev.get("name") for ev in trace["traceEvents"]}
@@ -105,9 +128,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--npes", type=int, default=512,
                         help="churn job size (default 512)")
+    parser.add_argument("--footprint-csv", default=None, metavar="FILE",
+                        help="write the sampled timeline as CSV here")
     args = parser.parse_args(argv)
 
-    if not churn_gate(args.npes):
+    if not churn_gate(args.npes, footprint_csv=args.footprint_csv):
         print("[churn-smoke] FAILED", flush=True)
         return 1
     print("[churn-smoke] all gates passed", flush=True)

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Perf-regression gate: fresh bench numbers vs the committed baseline.
+
+Re-times the wall-clock suite (``scripts/bench_wallclock.py``) and
+compares every case against the numbers committed in
+``BENCH_wallclock.json``:
+
+* **Deterministic fields** (``sim_time_us``, ``events_scheduled``,
+  ``events_dispatched``) must match the baseline **exactly** — they do
+  not vary between hosts, so any drift is a semantic change to the
+  simulation, not noise.  A legitimate change (new feature altering
+  event counts) means re-running ``bench_wallclock.py`` and committing
+  the refreshed baseline alongside the code.
+* **Wall time** (``wall_s_min``) may regress by at most ``--tolerance``
+  (fractional, default 0.35 — CI hosts are noisy; min-of-N absorbs
+  most of it but not all).  Speedups always pass.
+
+Exit status: 0 when every case passes, 1 on any violation — unless
+``--report-only`` is given, which prints the same report but always
+exits 0 (the CI smoke mode: surfaces drift in the log without blocking
+unrelated PRs on shared-runner noise).
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_gate.py                  # gate
+    PYTHONPATH=src python scripts/perf_gate.py --report-only
+    PYTHONPATH=src python scripts/perf_gate.py --fresh new.json # no re-run
+    PYTHONPATH=src python scripts/perf_gate.py --cases heat2d_64pe
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Host-independent per-case fields: exact match required.
+DETERMINISTIC_FIELDS = ("sim_time_us", "events_scheduled",
+                        "events_dispatched")
+
+
+def _load_bench_module():
+    """Import scripts/bench_wallclock.py (not a package) for run_case."""
+    path = REPO_ROOT / "scripts" / "bench_wallclock.py"
+    spec = importlib.util.spec_from_file_location("bench_wallclock", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_fresh(case_names, repeats: int) -> dict:
+    """Re-time the named baseline cases in-process."""
+    bench = _load_bench_module()
+    fresh = {}
+    for name in case_names:
+        factory = bench.CASES.get(name) or bench.QUICK_CASES.get(name)
+        if factory is None:
+            print(f"[perf-gate] skip {name}: not in the bench suite",
+                  flush=True)
+            continue
+        print(f"[perf-gate] timing {name} (min-of-{repeats}) ...",
+              flush=True)
+        fresh[name] = bench.run_case(name, factory, repeats)
+    return fresh
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Return a list of human-readable violations (empty = pass)."""
+    violations = []
+    for name, base in sorted(baseline.items()):
+        new = fresh.get(name)
+        if new is None:
+            violations.append(f"{name}: no fresh measurement")
+            continue
+        for field in DETERMINISTIC_FIELDS:
+            if base.get(field) != new.get(field):
+                violations.append(
+                    f"{name}: {field} changed "
+                    f"{base.get(field)} -> {new.get(field)} "
+                    f"(deterministic field: exact match required — "
+                    f"if intentional, re-run bench_wallclock.py and "
+                    f"commit the new baseline)"
+                )
+        base_wall = base.get("wall_s_min")
+        new_wall = new.get("wall_s_min")
+        if base_wall is None or new_wall is None:
+            violations.append(f"{name}: wall_s_min missing")
+            continue
+        limit = base_wall * (1.0 + tolerance)
+        ratio = new_wall / base_wall if base_wall else float("inf")
+        verdict = "OK" if new_wall <= limit else "REGRESSION"
+        print(f"[perf-gate] {name}: wall {base_wall:.4f}s -> "
+              f"{new_wall:.4f}s ({ratio:.2f}x, limit {limit:.4f}s) "
+              f"{verdict}", flush=True)
+        if new_wall > limit:
+            violations.append(
+                f"{name}: wall_s_min {new_wall:.4f}s exceeds "
+                f"{base_wall:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
+            )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=None, metavar="JSON",
+                        help="committed baseline "
+                             "(default BENCH_wallclock.json at repo root)")
+    parser.add_argument("--fresh", default=None, metavar="JSON",
+                        help="pre-measured report to compare instead of "
+                             "re-timing (a bench_wallclock.py output)")
+    parser.add_argument("--cases", nargs="*", default=None,
+                        help="subset of case names (default: all baseline "
+                             "cases)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per case (default 3)")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed fractional wall-time regression "
+                             "(default 0.35)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else REPO_ROOT / "BENCH_wallclock.json")
+    try:
+        baseline = json.loads(baseline_path.read_text())["cases"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"[perf-gate] cannot load baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.cases:
+        unknown = sorted(set(args.cases) - set(baseline))
+        if unknown:
+            print(f"[perf-gate] not in baseline: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        baseline = {k: baseline[k] for k in args.cases}
+
+    if args.fresh:
+        try:
+            fresh = json.loads(Path(args.fresh).read_text())["cases"]
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"[perf-gate] cannot load fresh report {args.fresh}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+    else:
+        fresh = measure_fresh(sorted(baseline), args.repeats)
+
+    violations = compare(baseline, fresh, args.tolerance)
+    if violations:
+        print(f"[perf-gate] {len(violations)} violation(s):", flush=True)
+        for v in violations:
+            print(f"[perf-gate]   {v}", flush=True)
+        if args.report_only:
+            print("[perf-gate] report-only mode: not failing the build",
+                  flush=True)
+            return 0
+        return 1
+    print("[perf-gate] all cases within tolerance", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ...apps import ChurnWorkload
 from ...gasnet import LifecyclePolicy
+from ...obs import diff_snapshots, series_peak
 from ..runner import PROPOSED, ExperimentResult, job_spec, run_jobs
 
 FULL_SIZES = [256, 1024]
@@ -69,13 +70,14 @@ def run(sizes: Optional[Sequence[int]] = None, quick: bool = True
     grid = [(npes, label, policy)
             for npes in sizes for label, policy in POLICIES]
     results = run_jobs(
-        job_spec(app, npes, PROPOSED, testbed="A", observe=True,
-                 lifecycle=policy)
+        job_spec(app, npes, PROPOSED, testbed="A",
+                 observe={"timeline": True}, lifecycle=policy)
         for npes, label, policy in grid
     )
 
     rows: List[list] = []
     series: Dict[str, Dict[int, Dict[str, float]]] = {}
+    telemetry: Dict[str, Dict[int, dict]] = {}
     for (npes, label, _policy), result in zip(grid, results):
         peak = max(r["peak_connections"] for r in result.app_results)
         final = max(r["final_connections"] for r in result.app_results)
@@ -86,29 +88,55 @@ def run(sizes: Optional[Sequence[int]] = None, quick: bool = True
         )
         p50 = hist["p50"] if hist else float("nan")
         p99 = hist["p99"] if hist else float("nan")
+        # The sampled footprint timeline must agree with the scalar
+        # high-water mark: conduit.peak_connections samples the running
+        # maximum, so its own max is exactly the job-wide peak even
+        # when the transient extremum falls between two ticks.
+        timeline = result.telemetry["timeline"]
+        tl_peak = series_peak(timeline["series"]["conduit.peak_connections"])
+        if int(tl_peak) != int(peak):
+            raise AssertionError(
+                f"timeline peak {tl_peak} != scalar peak {peak} "
+                f"(npes={npes}, policy={label})"
+            )
+        telemetry.setdefault(label, {})[npes] = result.telemetry
         series.setdefault(label, {})[npes] = {
             "peak_connections": peak,
             "final_connections": final,
+            "timeline_peak_connections": tl_peak,
             "evictions": evictions,
             "reconnects": reconnects,
             "reconnect_p50_us": p50,
             "reconnect_p99_us": p99,
         }
         rows.append([
-            npes, label, peak, final, evictions, reconnects,
+            npes, label, peak, int(tl_peak), final, evictions, reconnects,
             "-" if hist is None else f"{p50:.1f}",
             "-" if hist is None else f"{p99:.1f}",
         ])
+
+    # How much footprint does eviction actually buy?  Diff the
+    # evict-never telemetry against lru at the largest size: the
+    # conduit.peak_connections delta is the figure's headline number.
+    footprint_diff = None
+    largest = sizes[-1]
+    if "off" in telemetry and "lru" in telemetry:
+        footprint_diff = diff_snapshots(
+            telemetry["off"][largest], telemetry["lru"][largest]
+        )
     return ExperimentResult(
         experiment="Figure 9 (churn)",
         title="QP footprint vs reconnect latency under connection churn "
               "(Cluster-A)",
-        columns=["PEs", "policy", "peak conns", "final conns",
+        columns=["PEs", "policy", "peak conns", "tl peak", "final conns",
                  "evictions", "reconnects",
                  "reconnect p50 (us)", "reconnect p99 (us)"],
         rows=rows,
         note="'off' footprint is the union of every epoch's peers "
              "(grows with runtime); eviction pins it to the working set "
-             "at the price of reconnect handshakes",
-        extras={"series": series, "epochs": EPOCHS, "partners": PARTNERS},
+             "at the price of reconnect handshakes; 'tl peak' is the "
+             "sampled footprint timeline's maximum (must equal the "
+             "scalar peak)",
+        extras={"series": series, "epochs": EPOCHS, "partners": PARTNERS,
+                "telemetry": telemetry, "footprint_diff": footprint_diff},
     )

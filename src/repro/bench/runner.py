@@ -55,11 +55,14 @@ def job_spec(
     config: RuntimeConfig,
     testbed: str = "A",
     ppn: Optional[int] = None,
-    observe: bool = False,
+    observe: Any = False,
     check=None,
     **config_overrides,
 ) -> JobSpec:
-    """Describe one job on the named paper testbed (A or B)."""
+    """Describe one job on the named paper testbed (A or B).
+
+    ``observe`` accepts ``bool``, ``{"timeline": ...}``, or a
+    :class:`repro.obs.TimelineConfig` (see ``repro.obs.timeline``)."""
     if config_overrides:
         config = config.evolve(**config_overrides)
     return JobSpec(app=app, npes=npes, config=config, testbed=testbed,
@@ -72,14 +75,15 @@ def run_job(
     config: RuntimeConfig,
     testbed: str = "A",
     ppn: Optional[int] = None,
-    observe: bool = False,
+    observe: Any = False,
     check=None,
     **config_overrides,
 ) -> JobResult:
     """Run one job on the named paper testbed (A or B), in-process.
 
     ``observe=True`` runs with the flight recorder on; the result then
-    carries a ``telemetry`` section experiments can assert against.
+    carries a ``telemetry`` section experiments can assert against
+    (``observe={"timeline": True}`` adds the sampled time-series).
     ``check`` (a :class:`repro.check.CheckPlan`, config dict, or
     ``True``) arms the invariant sanitizer; the result then carries a
     ``check`` report.

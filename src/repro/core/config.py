@@ -9,12 +9,13 @@ cannot help the static scheme).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 from ..check import CheckPlan
 from ..errors import ConfigError
 from ..faults import FaultPlan
 from ..gasnet import LifecyclePolicy
+from ..obs.timeline import canonical_observe
 
 __all__ = ["RuntimeConfig"]
 
@@ -49,7 +50,11 @@ class RuntimeConfig:
     #: Enable the flight recorder (:mod:`repro.obs`): span tracing +
     #: metrics registry on every substrate.  Off by default; when off
     #: the instrumentation costs one predicate check per site.
-    observe: bool = False
+    #: Accepts ``bool``, ``{"timeline": ...}`` (adds the time-series
+    #: sampler), or a :class:`repro.obs.TimelineConfig`; normalised to
+    #: ``False`` / ``True`` / ``TimelineConfig`` so the dataclass stays
+    #: hashable.
+    observe: Any = False
     #: Deterministic fault plan (:class:`repro.faults.FaultPlan` or the
     #: equivalent config dict); ``None`` disables injection.
     fault_plan: Optional[FaultPlan] = None
@@ -76,6 +81,7 @@ class RuntimeConfig:
             raise ConfigError("heap_mb must be positive")
         if self.heap_backing_kb <= 0:
             raise ConfigError("heap_backing_kb must be positive")
+        object.__setattr__(self, "observe", canonical_observe(self.observe))
         if isinstance(self.fault_plan, dict):
             object.__setattr__(
                 self, "fault_plan", FaultPlan.from_dict(self.fault_plan)

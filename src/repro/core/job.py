@@ -25,9 +25,12 @@ from ..cluster import Cluster, cluster_a
 from ..errors import ConfigError, InvariantViolation
 from ..faults import FaultInjector, FaultPlan
 from ..gasnet import ConduitNetwork, OnDemandConduit, StaticConduit
+from ..gasnet.conduit import install_timeline_probes as _conduit_probes
 from ..ib import HCA, Fabric, VerbsContext
+from ..ib.hca import install_timeline_probes as _hca_probes
 from ..mpi import Communicator
-from ..obs import Observability
+from ..obs import Observability, parse_observe
+from ..shmem.runtime import install_timeline_probes as _shmem_probes
 from ..pmi import PMIClient, PMIDomain
 from ..shmem import ShmemPE
 from ..sim import Barrier, Counters, RngRegistry, Simulator, Tracer, spawn, spawn_batch
@@ -48,7 +51,7 @@ class Job:
         cluster_factory: Optional[Callable[[int], Cluster]] = None,
         trace: bool = False,
         faults: Optional[FaultPlan] = None,
-        observe: Optional[bool] = None,
+        observe=None,
         check: Optional[CheckPlan] = None,
         scheduler: str = "calendar",
     ) -> None:
@@ -68,13 +71,16 @@ class Job:
 
         # -- machine assembly ------------------------------------------
         self.sim = Simulator(scheduler=scheduler)
-        #: Flight recorder (spans + metrics registry); None unless the
-        #: job was built with observe=True (arg wins over config).  Every
-        #: substrate holds an ``obs`` pointer that stays None when off,
-        #: so instrumentation costs one predicate check per site.
-        obs_on = observe if observe is not None else self.config.observe
+        #: Flight recorder (spans + metrics registry, optionally the
+        #: timeline sampler); None unless the job was built with
+        #: observe=True / observe={"timeline": ...} (arg wins over
+        #: config).  Every substrate holds an ``obs`` pointer that stays
+        #: None when off, so instrumentation costs one predicate check
+        #: per site.
+        obs_arg = observe if observe is not None else self.config.observe
+        obs_on, timeline_cfg = parse_observe(obs_arg)
         self.obs: Optional[Observability] = (
-            Observability(self.sim) if obs_on else None
+            Observability(self.sim, timeline=timeline_cfg) if obs_on else None
         )
         self.counters = (
             self.obs.counters_facade() if self.obs is not None else Counters()
@@ -176,6 +182,18 @@ class Job:
             pe.obs = self.obs
             pe.check = self.sanitizer
 
+        # -- timeline probes (machine fully assembled at this point) ----
+        timeline = self.obs.timeline if self.obs is not None else None
+        if timeline is not None:
+            _conduit_probes(timeline, self.conduits, self.counters)
+            _hca_probes(timeline, self.hcas, self.counters)
+            self.pmi_domain.install_timeline_probes(timeline)
+            _shmem_probes(timeline, self.pes)
+            # Scheduler depth: how much work the DES is juggling —
+            # pending_events is a pure len() sum over the queues.
+            timeline.add_probe("sim.event_queue_depth",
+                               lambda: self.sim.pending_events)
+
     # ------------------------------------------------------------------
     def run(self, app) -> JobResult:
         """Launch ``app`` on every PE and simulate to completion."""
@@ -207,12 +225,22 @@ class Job:
             self.sim, ((pe_main(r), f"pe{r}") for r in range(self.npes))
         )
         done = {"ok": False}
+        timeline = self.obs.timeline if self.obs is not None else None
 
         def join_all(sim):
             yield sim.all_of(procs)
             done["ok"] = True
+            if timeline is not None:
+                # Final sample + disarm; the one already-scheduled tick
+                # fires as a no-op so the queue still drains.  Without
+                # this the self-rearming sampler would keep the run
+                # alive forever (same hazard the lifecycle reaper parks
+                # around).
+                timeline.stop()
 
         spawn(self.sim, join_all(self.sim), name="join")
+        if timeline is not None:
+            timeline.start()
         # The event storm allocates heavily but creates no garbage
         # cycles the run itself needs collected; at tens of thousands
         # of PEs the cyclic GC's generational scans are a measurable

@@ -95,7 +95,10 @@ class JobSpec:
     #: Override ``config.seed`` for this point (ablation sweeps vary the
     #: seed without re-evolving the whole config).
     seed: Optional[int] = None
-    observe: bool = False
+    #: Flight-recorder switch: ``bool``, ``{"timeline": ...}``, or a
+    #: ``repro.obs.TimelineConfig``; normalised to ``False`` / ``True``
+    #: / ``TimelineConfig`` so specs stay hashable + picklable.
+    observe: Any = False
     faults: Optional[FaultPlan] = None
     #: Invariant sanitizer plan (CheckPlan or config dict); ``None``
     #: runs unaudited.
@@ -117,6 +120,9 @@ class JobSpec:
             )
         if self.ppn is not None and self.ppn < 1:
             raise ConfigError(f"JobSpec.ppn must be >= 1, got {self.ppn}")
+        from ..obs.timeline import canonical_observe
+
+        object.__setattr__(self, "observe", canonical_observe(self.observe))
         overrides = self.cost_overrides
         if isinstance(overrides, Mapping):
             object.__setattr__(
@@ -147,7 +153,7 @@ class JobSpec:
         if self.seed is not None:
             parts.append(f"seed{self.seed}")
         if self.observe:
-            parts.append("obs")
+            parts.append("obs" if self.observe is True else "obs-tl")
         if self.check is not None:
             parts.append("check")
         return "-".join(parts)

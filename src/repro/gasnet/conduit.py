@@ -51,7 +51,64 @@ from .messages import (
     DisconnectAck,
 )
 
-__all__ = ["Conduit", "ConduitNetwork", "Connection"]
+__all__ = [
+    "Conduit",
+    "ConduitNetwork",
+    "Connection",
+    "install_timeline_probes",
+]
+
+
+def install_timeline_probes(timeline, conduits: List["Conduit"],
+                            counters) -> None:
+    """Register the conduit layer's time-series probes.
+
+    Called by ``Job`` when a telemetry timeline is enabled.  Every
+    callable is a pure read of live conduit state — the determinism
+    contract in :mod:`repro.obs.timeline` depends on that.
+
+    ``conduit.peak_connections`` samples the running high-water mark
+    (not the instantaneous sum), so the timeline's recorded peak equals
+    the scalar peak the experiments report even when a transient
+    maximum falls between two sampling ticks.
+    """
+    def live_connections() -> int:
+        return sum(len(c._conns) for c in conduits)
+
+    def max_pe_connections() -> int:
+        return max((len(c._conns) for c in conduits), default=0)
+
+    def peak_connections() -> int:
+        return max((c.peak_connections for c in conduits), default=0)
+
+    def draining() -> int:
+        return sum(len(getattr(c, "_draining", ())) for c in conduits)
+
+    def outstanding_wrs() -> int:
+        total = 0
+        for c in conduits:
+            for conn in c._conns.values():
+                total += len(conn.qp._pending)
+        return total
+
+    timeline.add_probe("conduit.connections", live_connections)
+    timeline.add_probe("conduit.connections_max_pe", max_pe_connections)
+    timeline.add_probe("conduit.peak_connections", peak_connections)
+    timeline.add_probe("conduit.draining", draining)
+    timeline.add_probe("conduit.outstanding_wrs", outstanding_wrs)
+    # Cumulative counts sampled over time (rates fall out in the diff
+    # tool); Counters.__getitem__ reads without inserting, so these are
+    # side-effect-free too.
+    timeline.add_probe("conduit.evictions", lambda: counters["conduit.evictions"],
+                       kind="counter")
+    timeline.add_probe("conduit.reconnects",
+                       lambda: counters["conduit.reconnects"], kind="counter")
+    timeline.add_probe(
+        "conduit.ud_retransmits",
+        lambda: (counters["conduit.connect_retries"]
+                 + counters["conduit.disconnect_retries"]),
+        kind="counter",
+    )
 
 
 class ConduitNetwork:

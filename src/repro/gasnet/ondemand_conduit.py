@@ -294,8 +294,15 @@ class OnDemandConduit(Conduit):
                 self.counters.add("conduit.disconnect_timeouts")
                 outcome = "timeout"
             self.counters.add("conduit.evictions")
-            if obs is not None and pending.span is not None:
-                obs.spans.finish(pending.span, outcome=outcome)
+            if obs is not None:
+                # Labelled registry series (policy = whichever policy
+                # evicted, "idle"/"manual" for non-reaper retirements)
+                # so lru-vs-credit comparisons fall out of telemetry
+                # alone, next to conduit.reconnect_latency_us.
+                obs.metrics.counter("conduit.evictions",
+                                    policy=reason).inc()
+                if pending.span is not None:
+                    obs.spans.finish(pending.span, outcome=outcome)
         finally:
             self._evicted_at[peer] = self.sim.now
             self._finish_draining(peer, pending)
@@ -600,6 +607,8 @@ class OnDemandConduit(Conduit):
             # the drain wins (serving now would pair a fresh QP with a
             # half-dead one).  Park the request and re-enter once the
             # drain completes — every idempotence rule reapplies.
+            # Lands in MetricsRegistry as-is on observed runs (the
+            # CountersBridge façade), keyed conduit.requests_during_drain.
             self.counters.add("conduit.requests_during_drain")
             spawn(
                 self.sim,

@@ -25,7 +25,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultInjector
     from .fabric import Fabric
 
-__all__ = ["HCA"]
+__all__ = ["HCA", "install_timeline_probes"]
+
+
+def install_timeline_probes(timeline, hcas, counters: Counters) -> None:
+    """Register the verbs layer's time-series probes (pure reads; see
+    the determinism contract in :mod:`repro.obs.timeline`).
+
+    Occupancy is sampled as both the job-wide sum and the worst single
+    HCA — the paper's QP-context pressure argument (Section I) is about
+    the latter."""
+    def cache_occupancy() -> int:
+        return sum(len(h._qp_cache) for h in hcas)
+
+    def cache_occupancy_max() -> int:
+        return max((len(h._qp_cache) for h in hcas), default=0)
+
+    def live_qps() -> int:
+        return sum(len(h._qps) for h in hcas)
+
+    timeline.add_probe("hca.qp_cache_occupancy", cache_occupancy)
+    timeline.add_probe("hca.qp_cache_occupancy_max", cache_occupancy_max)
+    timeline.add_probe("hca.qps", live_qps)
+    timeline.add_probe("hca.qp_cache_misses",
+                       lambda: counters["hca.qp_cache_misses"],
+                       kind="counter")
 
 #: RC request kinds a dead QP must NAK (responses/acks are dropped —
 #: NAKing a NAK or an ack would ping-pong between two dead QPs).

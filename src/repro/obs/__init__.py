@@ -29,11 +29,23 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..sim import Simulator
+from .diff import (
+    diff_snapshots,
+    format_diff,
+    load_snapshot,
+    series_final,
+    series_peak,
+)
 from .export import (
     chrome_trace,
     flat_dump,
+    parse_prometheus_text,
+    parse_timeline_csv,
+    prometheus_text,
     span_descendants,
     span_index,
+    timeline_counter_events,
+    timeline_csv,
     validate_chrome_trace,
 )
 from .metrics import (
@@ -46,6 +58,14 @@ from .metrics import (
     bucket_index,
 )
 from .spans import Span, SpanTracer
+from .timeline import (
+    Probe,
+    SeriesBuffer,
+    Timeline,
+    TimelineConfig,
+    canonical_observe,
+    parse_observe,
+)
 
 __all__ = [
     "Observability",
@@ -58,21 +78,43 @@ __all__ = [
     "CountersBridge",
     "BUCKET_BOUNDS",
     "bucket_index",
+    "Timeline",
+    "TimelineConfig",
+    "Probe",
+    "SeriesBuffer",
+    "parse_observe",
+    "canonical_observe",
     "chrome_trace",
     "flat_dump",
     "span_index",
     "span_descendants",
     "validate_chrome_trace",
+    "timeline_counter_events",
+    "timeline_csv",
+    "parse_timeline_csv",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "load_snapshot",
+    "diff_snapshots",
+    "format_diff",
+    "series_peak",
+    "series_final",
 ]
 
 
 class Observability:
     """Span tracer + metrics registry for one observed job."""
 
-    def __init__(self, sim: Simulator, span_capacity: int = 1_000_000) -> None:
+    def __init__(self, sim: Simulator, span_capacity: int = 1_000_000,
+                 timeline: Optional[TimelineConfig] = None) -> None:
         self.sim = sim
         self.spans = SpanTracer(sim, capacity=span_capacity)
         self.metrics = MetricsRegistry()
+        #: Time-series sampler; ``None`` unless the job asked for
+        #: ``observe={"timeline": ...}``.
+        self.timeline: Optional[Timeline] = (
+            Timeline(sim, timeline) if timeline is not None else None
+        )
 
     def counters_facade(self) -> CountersBridge:
         """A ``sim.trace.Counters``-compatible view feeding the registry."""
@@ -82,9 +124,10 @@ class Observability:
     # results / export
     # ------------------------------------------------------------------
     def telemetry(self) -> Dict[str, Any]:
-        """The ``JobResult.telemetry`` payload: span stats + metric dump."""
+        """The ``JobResult.telemetry`` payload: span stats + metric dump
+        (+ the timeline snapshot when sampling was enabled)."""
         open_spans = sum(1 for s in self.spans if s.end_us is None)
-        return {
+        payload: Dict[str, Any] = {
             "spans": {
                 "count": len(self.spans),
                 "dropped": self.spans.dropped,
@@ -92,11 +135,21 @@ class Observability:
             },
             "metrics": self.metrics.snapshot(),
         }
+        if self.timeline is not None:
+            payload["timeline"] = self.timeline.snapshot()
+        return payload
 
     def chrome_trace(self, label: str = "repro simulated job") -> Dict[str, Any]:
-        """Chrome trace-event JSON object (see :func:`export.chrome_trace`)."""
+        """Chrome trace-event JSON object (see :func:`export.chrome_trace`).
+
+        When a timeline is attached its series are merged in as counter
+        ("C") tracks, so footprint curves render under the span rows.
+        """
+        timeline = (self.timeline.snapshot()
+                    if self.timeline is not None else None)
         return chrome_trace(self.spans, label=label,
-                            dropped=self.spans.dropped)
+                            dropped=self.spans.dropped,
+                            timeline=timeline)
 
     def flat_spans(self) -> List[str]:
         """Deterministic flat-text span dump for golden comparisons."""

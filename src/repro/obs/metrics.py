@@ -175,6 +175,14 @@ class Histogram(_Metric):
                 return self.max if self.max is not None else BUCKET_BOUNDS[-1]
         return self.max if self.max is not None else 0.0  # pragma: no cover
 
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` with the argument in percent (``p50`` ==
+        ``percentile(50)``) — the form the diff tool's latency
+        comparison and most dashboards speak."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        return self.quantile(p / 100.0)
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly summary; only non-empty buckets are listed."""
         buckets = [

@@ -157,6 +157,15 @@ class PMIDomain:
     def daemon_of(self, rank: int) -> Daemon:
         return self.daemons[self.cluster.node_of(rank)]
 
+    def install_timeline_probes(self, timeline) -> None:
+        """Register PMI time-series probes (pure reads; see the
+        determinism contract in :mod:`repro.obs.timeline`)."""
+        timeline.add_probe("pmi.kvs_keys", self.kvs.__len__)
+        timeline.add_probe(
+            "pmi.collectives",
+            lambda: sum(len(d._coll) for d in self.daemons),
+        )
+
     # ------------------------------------------------------------------
     # Tree message timing
     # ------------------------------------------------------------------

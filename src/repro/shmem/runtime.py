@@ -43,7 +43,22 @@ from .rma import RMAMixin
 from .startup import run_startup
 from .strided import StridedMixin
 
-__all__ = ["ShmemPE"]
+__all__ = ["ShmemPE", "install_timeline_probes"]
+
+
+def install_timeline_probes(timeline, pes) -> None:
+    """Register SHMEM-layer time-series probes (pure reads; see the
+    determinism contract in :mod:`repro.obs.timeline`).
+
+    Symmetric-heap occupancy is the memory-footprint half of the
+    paper's scaling story (QP memory being the other, probed by the
+    HCA layer)."""
+    def heap_bytes() -> int:
+        return sum(
+            pe.heap.bytes_in_use if pe.heap is not None else 0 for pe in pes
+        )
+
+    timeline.add_probe("shmem.heap_bytes", heap_bytes)
 
 
 class ShmemPE(ShmemContext, RMAMixin, AtomicsMixin, CollectivesMixin,

@@ -327,6 +327,19 @@ class Simulator:
         if self._prof is not None:
             self._prof._record(fn, False)
 
+    def schedule_callback(self, when: float, fn: Callable,
+                          arg: Any = None) -> None:
+        """Public timed-callback entry point: run ``fn(arg)`` at ``when``.
+
+        Intended for passive observers (e.g. the telemetry timeline
+        sampler) that need a periodic hook without creating a process
+        or a waitable.  The entry consumes one sequence number like any
+        other event; since seq only breaks *same-time* ties and is
+        allocated monotonically, inserting such events never reorders
+        the rest of the simulation.
+        """
+        self._schedule_at(when, fn, arg)
+
     def schedule_wave(self, when: Union[float, Sequence[float], np.ndarray],
                       fn: Callable[[Any], None],
                       args: Sequence[Any]) -> Optional[Wave]:

@@ -1,9 +1,12 @@
 """Job-level observability wiring: opt-in, passivity, telemetry shape."""
 
-from repro.apps import HelloWorld
+import pytest
+
+from repro.apps import ChurnWorkload, HelloWorld
 from repro.cluster import cluster_a
 from repro.core import Job, RuntimeConfig
-from repro.obs import CountersBridge, Observability
+from repro.gasnet import LifecyclePolicy
+from repro.obs import CountersBridge, Observability, series_peak
 from repro.sim import Counters
 
 
@@ -95,3 +98,83 @@ def test_observation_is_passive():
     assert seen.app_done_us == base.app_done_us
     assert seen.counters == base.counters
     assert seen.startup.phase_means == base.startup.phase_means
+
+
+# ----------------------------------------------------------------------
+# eviction/reconnect churn under observation (the CountersBridge's
+# hardest case: the lifecycle reaper drives counters from timer context
+# while the sampler reads them)
+# ----------------------------------------------------------------------
+def _churn_job(observe, npes=16):
+    policy = LifecyclePolicy(policy="lru")
+    return Job(
+        npes=npes,
+        config=RuntimeConfig.proposed(lifecycle=policy),
+        cluster=cluster_a(npes, ppn=2),
+        observe=observe,
+    )
+
+
+def _churn_app():
+    return ChurnWorkload(epochs=3, partners=3, requests=4,
+                         idle_gap_us=30_000.0)
+
+
+class TestChurnObservationMatrix:
+    """Observed and unobserved churn runs are the same simulation."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            "off": _churn_job(observe=False).run(_churn_app()),
+            "on": _churn_job(observe=True).run(_churn_app()),
+            "timeline": _churn_job(
+                observe={"timeline": True}).run(_churn_app()),
+        }
+
+    def test_the_workload_actually_churns(self, runs):
+        base = runs["off"]
+        assert base.counters["conduit.evictions"] > 0
+        assert base.counters["conduit.reconnects"] > 0
+
+    @pytest.mark.parametrize("mode", ["on", "timeline"])
+    def test_flat_counters_identical_under_observation(self, runs, mode):
+        # The CountersBridge façade must count exactly like the plain
+        # Counters dict — including the eviction/reconnect/drain
+        # counters the reaper drives from timer context.
+        assert runs[mode].counters == runs["off"].counters
+
+    @pytest.mark.parametrize("mode", ["on", "timeline"])
+    def test_simulated_time_identical_under_observation(self, runs, mode):
+        assert runs[mode].wall_time_us == runs["off"].wall_time_us
+        assert runs[mode].app_done_us == runs["off"].app_done_us
+
+    def test_eviction_counters_reach_the_registry(self, runs):
+        metrics = runs["on"].telemetry["metrics"]
+        flat = runs["off"].counters
+        # Label-less series ride through the façade 1:1 ...
+        assert metrics["counters"]["conduit.evictions"] == (
+            flat["conduit.evictions"]
+        )
+        # ... and the policy-labelled breakdown is recorded alongside
+        # (the reaper evicts with reason == policy name).
+        assert metrics["counters"]["conduit.evictions{policy=lru}"] == (
+            flat["conduit.evictions"]
+        )
+        assert "conduit.reconnect_latency_us" in metrics["histograms"]
+
+    def test_timeline_peak_matches_scalar_peak(self, runs):
+        result = runs["timeline"]
+        scalar_peak = max(
+            r["peak_connections"] for r in result.app_results
+        )
+        buf = result.telemetry["timeline"]["series"][
+            "conduit.peak_connections"
+        ]
+        assert series_peak(buf) == scalar_peak
+        # Cumulative probes end at the flat counter values.
+        evict_buf = result.telemetry["timeline"]["series"][
+            "conduit.evictions"
+        ]
+        assert evict_buf["kind"] == "counter"
+        assert evict_buf["last"][-1] == result.counters["conduit.evictions"]

@@ -114,6 +114,50 @@ class TestHistogram:
         assert h.snapshot()["buckets"] == [{"le": "+Inf", "count": 1}]
 
 
+class TestHistogramPercentile:
+    """percentile(p) is quantile(p/100) on the shared log2 ladder —
+    exact at bucket bounds, like everything else in this module."""
+
+    def test_matches_quantile_on_exact_bounds(self):
+        h = Histogram("h")
+        for _ in range(99):
+            h.observe(1.5)   # le=2.0 bucket
+        h.observe(3.0)       # le=4.0 bucket
+        assert h.percentile(50.0) == h.quantile(0.5) == 2.0
+        assert h.percentile(99.0) == 2.0
+        assert h.percentile(100.0) == 4.0
+
+    def test_exact_bucket_boundaries(self):
+        h = Histogram("h")
+        # One observation on each of four consecutive power-of-two
+        # bounds: percentile cut points land on exact bucket bounds.
+        for v in (2.0, 4.0, 8.0, 16.0):
+            h.observe(v)
+        assert h.percentile(25.0) == 2.0
+        assert h.percentile(50.0) == 4.0
+        assert h.percentile(75.0) == 8.0
+        assert h.percentile(100.0) == 16.0
+
+    def test_p0_is_smallest_bucket_bound(self):
+        h = Histogram("h")
+        h.observe(5.0)  # le=8.0
+        assert h.percentile(0.0) == 8.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("h")
+        big = BUCKET_BOUNDS[-1] * 2
+        h.observe(big)
+        assert h.percentile(99.0) == big
+
+    def test_empty_histogram(self):
+        assert Histogram("h").percentile(50.0) == 0.0
+
+    @pytest.mark.parametrize("p", [-1.0, 100.5, 200.0])
+    def test_range_checked(self, p):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(p)
+
+
 class TestGauge:
     def test_set_inc_dec_and_high_water_mark(self):
         g = Gauge("g")

@@ -64,3 +64,38 @@ def test_ondemand_startup_trace_matches_golden_fixture(lifecycle):
     assert len(got) == len(want), (
         f"trace length changed: got {len(got)} lines, fixture has {len(want)}"
     )
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+@pytest.mark.parametrize("observe", [
+    False, {"timeline": True},
+], ids=["unobserved", "timeline"])
+def test_trace_is_byte_identical_with_timeline_sampling(scheduler, observe):
+    """The timeline sampler has zero effect on simulated time.
+
+    Its tick events consume sequence numbers, but seq only breaks
+    same-time ties and the probes are pure reads — so the golden trace
+    must stay byte-identical with sampling on, under both schedulers.
+    """
+    job = Job(
+        npes=128,
+        config=RuntimeConfig.proposed(),
+        cluster=cluster_b(128, ppn=16),
+        trace=True,
+        observe=observe,
+        scheduler=scheduler,
+    )
+    result = job.run(HelloWorld())
+    got = job.tracer.formatted()
+    want = FIXTURE.read_text().splitlines()
+    for i, (g, w) in enumerate(zip(got, want)):
+        assert g == w, (
+            f"trace diverges at line {i + 1} "
+            f"(scheduler={scheduler}, observe={observe}):\n"
+            f"  got:  {g}\n  want: {w}"
+        )
+    assert len(got) == len(want)
+    if observe:
+        timeline = result.telemetry["timeline"]
+        assert timeline["samples"] > 0
+        assert timeline["series"]["conduit.connections"]["t"]
