@@ -10,7 +10,15 @@ the *simulator itself* takes (host wall-clock, not simulated time):
   connection mode, which stresses the full-wireup path;
 * ``heat2d_64pe`` — an application with a real communication pattern
   (halo exchange + reductions);
-* ``fig6_put_latency`` — the Figure 6 put-latency timing loop.
+* ``fig6_put_latency`` — the Figure 6 put-latency timing loop;
+* ``fig5_scale_262144_macro`` / ``fig5_scale_1048576_macro`` — the
+  fig5 scale curve's far points through the analytical phase-model
+  layer (``macro=True``): no simulator, no events, so the profiled leg
+  is skipped and ``sim_time_us`` is the only deterministic field.
+
+Every case also records ``peak_rss_kb`` (the ``getrusage`` high-water
+after the case — process-wide and monotone across the suite), so the
+JSON tracks memory headroom alongside wall time.
 
 Each case is timed ``--repeats`` times and the **minimum** is reported:
 scheduling noise on a shared host only ever adds time, so min-of-N is
@@ -46,6 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
 import time
 from pathlib import Path
@@ -72,6 +81,12 @@ def _startup(npes: int, mode: str = "proposed"):
     return job, HelloWorld()
 
 
+def _macro_startup(npes: int):
+    job = Job(npes=npes, config=RuntimeConfig.proposed(),
+              cluster=cluster_b(npes, ppn=32), macro=True)
+    return job, HelloWorld()
+
+
 CASES = {
     "startup_hello_512": lambda: _startup(512),
     "startup_hello_1024": lambda: _startup(1024),
@@ -86,6 +101,11 @@ CASES = {
             cluster=cluster_a(2, ppn=1)),
         PutLatency(sizes=[8, 4096, 65536], iterations=200),
     ),
+    # Macro-layer scale points: the fig5 curve past the exact engine's
+    # budget.  No KernelProfile leg (macro jobs schedule no events);
+    # the deterministic field is sim_time_us alone.
+    "fig5_scale_262144_macro": lambda: _macro_startup(262144),
+    "fig5_scale_1048576_macro": lambda: _macro_startup(1048576),
 }
 
 QUICK_CASES = {
@@ -121,33 +141,49 @@ def run_case(name: str, factory, repeats: int) -> dict:
     """Time one case ``repeats`` times; add one profiled run."""
     times = []
     sim_time_us = None
+    macro = False
     for _ in range(repeats):
         t0 = time.perf_counter()
         job, app = factory()
         result = job.run(app)
         times.append(time.perf_counter() - t0)
         sim_time_us = result.wall_time_us
+        macro = job.sim is None
 
-    # Deterministic event statistics from a separate profiled run (the
-    # profiling hook costs a little, so it never pollutes the timings).
-    job, app = factory()
-    prof = KernelProfile().attach(job.sim)
-    job.run(app)
-    snap = prof.snapshot(top=8)
+    # getrusage's high-water is process-wide and monotone, so this is
+    # "peak RSS after this case" — still the number that matters for
+    # the memory-budget question (can this suite run on an N-GB host?).
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     entry = {
         "wall_s_min": round(min(times), 4),
         "wall_s_all": [round(t, 4) for t in times],
         "sim_time_us": sim_time_us,
-        "events_scheduled": snap["events_scheduled"],
-        "events_dispatched": snap["events_dispatched"],
-        "micro_ratio": round(snap["micro_ratio"], 4),
-        "events_batched": snap["events_batched"],
-        "waves_scheduled": snap["waves_scheduled"],
-        "batch_ratio": round(snap["batch_ratio"], 4),
-        "batch_sizes": snap["batch_sizes"],
-        "top_callbacks": snap["by_module"],
+        "peak_rss_kb": peak_rss_kb,
     }
+    if macro:
+        # Macro jobs have no simulator (job.sim is None): nothing to
+        # profile, and no event counts — sim_time_us is the only
+        # deterministic field.
+        entry["engine"] = "macro"
+    else:
+        # Deterministic event statistics from a separate profiled run
+        # (the profiling hook costs a little, so it never pollutes the
+        # timings).
+        job, app = factory()
+        prof = KernelProfile().attach(job.sim)
+        job.run(app)
+        snap = prof.snapshot(top=8)
+        entry.update({
+            "events_scheduled": snap["events_scheduled"],
+            "events_dispatched": snap["events_dispatched"],
+            "micro_ratio": round(snap["micro_ratio"], 4),
+            "events_batched": snap["events_batched"],
+            "waves_scheduled": snap["waves_scheduled"],
+            "batch_ratio": round(snap["batch_ratio"], 4),
+            "batch_sizes": snap["batch_sizes"],
+            "top_callbacks": snap["by_module"],
+        })
     base = BASELINE_S.get(name)
     if base is not None:
         entry["baseline_s"] = base
@@ -299,12 +335,18 @@ def main(argv=None) -> int:
         report["cases"][name] = entry
         extra = (f"  ({entry['speedup']}x vs {entry['baseline_s']}s baseline)"
                  if "speedup" in entry else "")
-        print(f"[bench] {name}: {entry['wall_s_min']}s min-of-{repeats}, "
-              f"{entry['events_scheduled']} events, "
-              f"micro_ratio={entry['micro_ratio']}, "
-              f"batch_ratio={entry['batch_ratio']} "
-              f"({entry['waves_scheduled']} waves)"
-              f"{extra}", flush=True)
+        if entry.get("engine") == "macro":
+            print(f"[bench] {name}: {entry['wall_s_min']}s "
+                  f"min-of-{repeats}, macro engine (no events), "
+                  f"rss={entry['peak_rss_kb'] / 1024:.0f}MB{extra}",
+                  flush=True)
+        else:
+            print(f"[bench] {name}: {entry['wall_s_min']}s min-of-{repeats}, "
+                  f"{entry['events_scheduled']} events, "
+                  f"micro_ratio={entry['micro_ratio']}, "
+                  f"batch_ratio={entry['batch_ratio']} "
+                  f"({entry['waves_scheduled']} waves)"
+                  f"{extra}", flush=True)
 
     if args.output != "-":
         out = Path(args.output) if args.output else REPO_ROOT / "BENCH_wallclock.json"

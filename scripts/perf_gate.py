@@ -14,6 +14,9 @@ compares every case against the numbers committed in
 * **Wall time** (``wall_s_min``) may regress by at most ``--tolerance``
   (fractional, default 0.35 — CI hosts are noisy; min-of-N absorbs
   most of it but not all).  Speedups always pass.
+* Cases present only in the fresh report (a bench entry added in the
+  same change) are reported as ``NEW`` and never fail the gate — the
+  baseline catches up when the refreshed JSON is committed.
 
 Exit status: 0 when every case passes, 1 on any violation — unless
 ``--report-only`` is given, which prints the same report but always
@@ -102,6 +105,10 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
                 f"{name}: wall_s_min {new_wall:.4f}s exceeds "
                 f"{base_wall:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
             )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"[perf-gate] {name}: NEW (no baseline entry — reported, "
+              f"not gated; commit a refreshed BENCH_wallclock.json to "
+              f"start gating it)", flush=True)
     return violations
 
 

@@ -22,3 +22,8 @@ class HelloWorld(Application):
         # application CPU so the app section isn't literally zero.
         yield pe.sim.timeout(50.0 * pe.cost.compute_scale)
         return f"Hello from PE {pe.mype} of {pe.npes}"
+
+    def macro_profile(self, rank: int, npes: int, cost):
+        """Closed-form per-rank cost for the macro phase layer: the
+        same token CPU charge and return value as :meth:`run`."""
+        return 50.0 * cost.compute_scale, f"Hello from PE {rank} of {npes}"

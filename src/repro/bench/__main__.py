@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench --list
     python -m repro.bench fig5a fig9            # quick scale
     python -m repro.bench --full fig8a          # paper scale
+    python -m repro.bench fig5-scale --sizes 131072 1048576
 """
 
 from __future__ import annotations
@@ -53,6 +54,10 @@ EXPERIMENTS = {
     "ablation-qp-cache": lambda quick: ablation_qp_cache.run(),
 }
 
+#: ``--sizes`` sanity ceiling: the macro layer happily models a million
+#: PEs, but anything past 4Mi is a typo, not an experiment.
+MAX_SCALE_SIZE = 1 << 22
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -65,7 +70,24 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="paper-scale sweeps (slow) instead of quick scale",
     )
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, metavar="NPES",
+        help="explicit job sizes for fig5-scale (overrides the preset "
+             "sweep; sizes >= %d PEs use the macro phase models)"
+        % fig5_startup.MACRO_THRESHOLD,
+    )
     args = parser.parse_args(argv)
+
+    if args.sizes is not None:
+        if args.names != ["fig5-scale"]:
+            print("--sizes is only valid with the fig5-scale experiment",
+                  file=sys.stderr)
+            return 2
+        bad = [n for n in args.sizes if n <= 0 or n > MAX_SCALE_SIZE]
+        if bad:
+            print(f"--sizes values must be in 1..{MAX_SCALE_SIZE} PEs, "
+                  f"got: {', '.join(map(str, bad))}", file=sys.stderr)
+            return 2
 
     if args.list or not args.names:
         print("available experiments:")
@@ -78,6 +100,9 @@ def main(argv=None) -> int:
         if fn is None:
             print(f"unknown experiment {name!r} (see --list)", file=sys.stderr)
             return 2
+        if name == "fig5-scale" and args.sizes is not None:
+            print(fig5_startup.run_scale(sizes=args.sizes).render())
+            continue
         print(fn(not args.full).render())
     return 0
 

@@ -28,12 +28,17 @@ from ..tables import fmt_ratio, fmt_us
 FULL_SIZES = [128, 256, 512, 1024, 2048, 4096, 8192]
 QUICK_SIZES = [128, 512, 2048]
 #: Beyond-the-paper extrapolation sizes for the on-demand design (the
-#: calendar-queue kernel runs 65,536 PEs in minutes on one core).  The
-#: static design is deliberately absent: its all-pairs wireup needs
-#: O(N^2) simulated QPs — 4.3 billion at 65,536 — which is neither
-#: tractable nor interesting (the paper's point is that it cannot
-#: scale).
-SCALE_SIZES = [16384, 32768, 65536]
+#: calendar-queue kernel runs 65,536 PEs in minutes on one core; the
+#: macro phase models carry the curve to 1,048,576).  The static
+#: design is deliberately absent: its all-pairs wireup needs O(N^2)
+#: simulated QPs — 4.3 billion at 65,536 — which is neither tractable
+#: nor interesting (the paper's point is that it cannot scale).
+SCALE_SIZES = [16384, 32768, 65536, 131072, 262144, 524288, 1048576]
+#: Sizes at or above this run through the analytical phase-model layer
+#: (``macro=True``): the exact engine's per-PE generator swarm is past
+#: its memory/wall budget there, and the macro layer reproduces the
+#: startup metrics bit for bit (see tests/core/test_macro_equivalence).
+MACRO_THRESHOLD = 131072
 
 
 def run(sizes: Optional[Sequence[int]] = None, quick: bool = True,
@@ -95,29 +100,58 @@ def run_scale(sizes: Optional[Sequence[int]] = None) -> ExperimentResult:
     in-process — at these sizes a single job dominates a core and the
     pool would only add fork + result-pickling overhead (and at 65,536
     PEs, several gigabytes of resident simulation state per worker).
+    Sizes at or above :data:`MACRO_THRESHOLD` use the analytical phase
+    models (``macro=True``), which is what carries the curve to
+    1,048,576 PEs on one core.
+
+    Each point records host wall seconds and peak RSS (``getrusage``
+    high-water, in MB — monotone across the ascending sweep) in
+    ``extras["wallclock"]`` so memory headroom is tracked alongside
+    simulated time.
     """
+    import resource
+    import time
+
     from ..runner import run_job
 
     sizes = list(sizes) if sizes else SCALE_SIZES
     rows: List[list] = []
     raw: Dict[int, object] = {}
+    wallclock: Dict[int, dict] = {}
     for npes in sizes:
-        result = run_job(HelloWorld(), npes, PROPOSED, testbed="B")
+        macro = npes >= MACRO_THRESHOLD
+        # Host wall, not simulated time: the whole point of this
+        # column is how long the simulator itself takes per point.
+        t0 = time.perf_counter()  # lint: allow-wall-clock
+        result = run_job(HelloWorld(), npes, PROPOSED, testbed="B",
+                         macro=macro)
+        wall_s = time.perf_counter() - t0  # lint: allow-wall-clock
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         raw[npes] = result
+        wallclock[npes] = {
+            "wall_s": round(wall_s, 3),
+            "peak_rss_kb": rss_kb,
+            "macro": macro,
+        }
         rows.append([
             npes,
             fmt_us(result.startup.mean_us),
             fmt_us(result.wall_time_us),
             f"{result.resources.mean_connections:.2f}",
+            "macro" if macro else "exact",
+            f"{wall_s:.1f}s",
+            f"{rss_kb / 1024:.0f}MB",
         ])
     return ExperimentResult(
         experiment="Figure 5 (scale)",
         title="on-demand start_pes beyond the paper (Cluster-B, 16 ppn)",
-        columns=["npes", "start_pes", "hello wall", "conns/PE"],
+        columns=["npes", "start_pes", "hello wall", "conns/PE",
+                 "engine", "host wall", "peak RSS"],
         rows=rows,
         note="proposed design only: static wireup is O(N^2) QPs and "
-             "infeasible at these sizes — which is the paper's point",
-        extras={"raw": raw},
+             "infeasible at these sizes — which is the paper's point; "
+             ">= 131072 PEs via the macro phase models",
+        extras={"raw": raw, "wallclock": wallclock},
     )
 
 

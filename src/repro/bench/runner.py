@@ -57,16 +57,19 @@ def job_spec(
     ppn: Optional[int] = None,
     observe: Any = False,
     check=None,
+    macro: bool = False,
     **config_overrides,
 ) -> JobSpec:
     """Describe one job on the named paper testbed (A or B).
 
     ``observe`` accepts ``bool``, ``{"timeline": ...}``, or a
-    :class:`repro.obs.TimelineConfig` (see ``repro.obs.timeline``)."""
+    :class:`repro.obs.TimelineConfig` (see ``repro.obs.timeline``).
+    ``macro=True`` routes through the analytical phase-model layer
+    (closed-form startup; the very-large-scale path)."""
     if config_overrides:
         config = config.evolve(**config_overrides)
     return JobSpec(app=app, npes=npes, config=config, testbed=testbed,
-                   ppn=ppn, observe=observe, check=check)
+                   ppn=ppn, observe=observe, check=check, macro=macro)
 
 
 def run_job(
@@ -77,6 +80,7 @@ def run_job(
     ppn: Optional[int] = None,
     observe: Any = False,
     check=None,
+    macro: bool = False,
     **config_overrides,
 ) -> JobResult:
     """Run one job on the named paper testbed (A or B), in-process.
@@ -86,10 +90,10 @@ def run_job(
     (``observe={"timeline": True}`` adds the sampled time-series).
     ``check`` (a :class:`repro.check.CheckPlan`, config dict, or
     ``True``) arms the invariant sanitizer; the result then carries a
-    ``check`` report.
+    ``check`` report.  ``macro=True`` uses the analytical phase models.
     """
     return execute(job_spec(app, npes, config, testbed=testbed, ppn=ppn,
-                            observe=observe, check=check,
+                            observe=observe, check=check, macro=macro,
                             **config_overrides))
 
 

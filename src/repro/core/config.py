@@ -69,6 +69,13 @@ class RuntimeConfig:
     #: exactly as in the paper's evaluation.  Ignored by the static
     #: conduit, which owns no per-peer lifecycle.
     lifecycle: Optional[LifecyclePolicy] = None
+    #: Analytical phase models (:mod:`repro.sim.macro`): reproduce the
+    #: startup metrics through closed-form cost curves instead of the
+    #: per-PE event swarm.  Off by default — the exact engine is the
+    #: reference; macro mode exists for very large scale points
+    #: (Figure 5 beyond ~10^5 PEs).  Incompatible with trace, faults,
+    #: observe, check and lifecycle; ``Job(macro=...)`` overrides.
+    macro_phases: bool = False
 
     def __post_init__(self) -> None:
         if self.connection_mode not in _CONNECTION_MODES:

@@ -33,6 +33,7 @@ from ..obs import Observability, parse_observe
 from ..shmem.runtime import install_timeline_probes as _shmem_probes
 from ..pmi import PMIClient, PMIDomain
 from ..shmem import ShmemPE
+from ..shmem.models import run_macro_job, supported_corner
 from ..sim import Barrier, Counters, RngRegistry, Simulator, Tracer, spawn, spawn_batch
 from .config import RuntimeConfig
 from .metrics import JobResult, ResourceReport, StartupReport
@@ -54,6 +55,7 @@ class Job:
         observe=None,
         check: Optional[CheckPlan] = None,
         scheduler: str = "calendar",
+        macro: Optional[bool] = None,
     ) -> None:
         if npes < 1:
             raise ConfigError("npes must be >= 1")
@@ -68,6 +70,44 @@ class Job:
                 f"cluster sized for {self.cluster.npes} PEs, job wants {npes}"
             )
         self.npes = npes
+
+        # -- analytical phase models (macro mode) ----------------------
+        # Explicit arg wins over config, like faults/observe/check.
+        self.macro = (
+            bool(macro) if macro is not None else self.config.macro_phases
+        )
+        if self.macro:
+            # The macro layer reproduces metrics, not events: anything
+            # that hooks the event stream has nothing to hook.
+            if trace:
+                raise ConfigError(
+                    "macro mode produces no event trace (trace=True)"
+                )
+            plan = faults if faults is not None else self.config.fault_plan
+            if plan is not None and not plan.empty:
+                raise ConfigError("macro mode cannot inject faults")
+            obs_arg = observe if observe is not None else self.config.observe
+            obs_on, _ = parse_observe(obs_arg)
+            if obs_on:
+                raise ConfigError("macro mode has no flight recorder")
+            if check is not None and check is not False or (
+                check is None and self.config.check is not None
+            ):
+                raise ConfigError("macro mode cannot run the sanitizer")
+            lifecycle = self.config.lifecycle
+            if lifecycle is not None and lifecycle.enabled:
+                raise ConfigError(
+                    "macro mode does not model connection lifecycle"
+                )
+            supported_corner(self.config)  # fail fast on ablations
+            self._scheduler = scheduler
+            # No machine: the reducers read MacroRunResult instead.
+            self.sim = None
+            self.obs = None
+            self.tracer = None
+            self.sanitizer = None
+            self.fault_injector = None
+            return
 
         # -- machine assembly ------------------------------------------
         self.sim = Simulator(scheduler=scheduler)
@@ -197,6 +237,24 @@ class Job:
     # ------------------------------------------------------------------
     def run(self, app) -> JobResult:
         """Launch ``app`` on every PE and simulate to completion."""
+        if self.macro:
+            res = run_macro_job(
+                app, self.npes, self.config, self.cluster,
+                scheduler=self._scheduler,
+            )
+            return JobResult(
+                npes=self.npes,
+                config_label=self.config.label,
+                wall_time_us=res.wall_time_us,
+                app_done_us=res.app_done_us,
+                startup=StartupReport.from_pes(res.pes),
+                resources=ResourceReport.from_pes(res.pes),
+                app_results=res.app_results,
+                counters=res.counters,
+                telemetry=None,
+                check=None,
+                macro=True,
+            )
         skew_rng = self.rng.stream("launch-skew")
         skews = skew_rng.uniform(0.0, self.cluster.cost.launch_skew_us,
                                  size=self.npes)

@@ -94,6 +94,9 @@ class JobResult:
     #: Sanitizer report (plan, violations, stats, leak report) when the
     #: job ran with ``check=...``; ``None`` otherwise.
     check: Optional[Dict[str, Any]] = None
+    #: True when the metrics came from the analytical phase-model layer
+    #: (``Job(macro=True)``) instead of the exact event simulation.
+    macro: bool = False
 
     @property
     def wall_time_s(self) -> float:

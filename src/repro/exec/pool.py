@@ -109,6 +109,10 @@ class JobSpec:
     cost_overrides: Optional[Tuple[Tuple[str, Any], ...]] = None
     #: Human-readable tag used in error messages and progress output.
     label: Optional[str] = None
+    #: Run through the analytical phase-model layer instead of the
+    #: exact event simulation (``Job(macro=True)``); the scale sweeps
+    #: flip this on for their largest points.
+    macro: bool = False
 
     def __post_init__(self) -> None:
         if self.npes < 1:
@@ -156,6 +160,8 @@ class JobSpec:
             parts.append("obs" if self.observe is True else "obs-tl")
         if self.check is not None:
             parts.append("check")
+        if self.macro:
+            parts.append("macro")
         return "-".join(parts)
 
 
@@ -199,6 +205,7 @@ def execute(spec: JobSpec) -> Any:
         faults=spec.faults,
         observe=spec.observe or None,
         check=spec.check,
+        macro=spec.macro or None,
     )
     try:
         return job.run(spec.app)
