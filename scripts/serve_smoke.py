@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""CI serve smoke: the multi-tenant sweep service over a skewed trace.
+
+Replays a synthetic multi-tenant arrival trace (Zipf-skewed spec
+popularity, weighted tenants, priorities) through ``repro.serve`` with
+a disk-backed content-addressed result cache, then gates on the
+service's headline guarantees:
+
+1. **Hit ratio**: the skewed trace must actually dedupe — cold replay
+   hit ratio (hits + in-flight dedup over admitted) strictly positive,
+   and a second replay of the same trace against the warm cache must
+   be answered *entirely* from the cache (hit ratio 1.0, zero
+   executions).
+
+2. **Zero identity collisions**: every distinct canonical spec in the
+   trace maps to a distinct content hash (the service cross-checks
+   canonical JSON per hash as it goes), and no two semantically
+   different specs share one.
+
+3. **Byte-identical hit replay**: for every distinct spec in the
+   trace, a fresh in-process ``execute(spec)`` pickles to exactly the
+   bytes the cache serves — counters, StartupReport, app results, the
+   lot.  A cache hit IS the fresh run.
+
+4. **Fairness / tenancy sanity**: every tenant that submitted work got
+   answers; per-tenant latency percentiles and the weighted fairness
+   index are printed for the log.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py             # defaults
+    PYTHONPATH=src python scripts/serve_smoke.py --arrivals 96
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import HelloWorld  # noqa: E402
+from repro.core import RuntimeConfig  # noqa: E402
+from repro.exec import JobSpec, execute, spec_hash  # noqa: E402
+from repro.faults import FaultPlan, UDFault  # noqa: E402
+from repro.obs import prometheus_text  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ResultCache,
+    ResultStore,
+    SweepService,
+    canonical_payload,
+    synthetic_trace,
+)
+
+TENANTS = {"alpha": 3.0, "beta": 2.0, "gamma": 1.0}
+
+
+def spec_universe() -> list:
+    """A small but semantically diverse grid: sizes x designs, plus a
+    cost-override, fault-plan, and seed variant — specs that differ in
+    every field the content hash must separate."""
+    lossy = FaultPlan(name="loss", ud=(UDFault("drop", prob=0.1),))
+    universe = [
+        JobSpec(app=HelloWorld(), npes=npes, config=config)
+        for npes in (4, 8)
+        for config in (RuntimeConfig.proposed(), RuntimeConfig.current())
+    ]
+    universe += [
+        JobSpec(app=HelloWorld(), npes=8, config=RuntimeConfig.proposed(),
+                cost_overrides={"qp_cache_entries": 8}),
+        JobSpec(app=HelloWorld(), npes=8, config=RuntimeConfig.proposed(),
+                faults=lossy),
+        JobSpec(app=HelloWorld(), npes=8, config=RuntimeConfig.proposed(),
+                seed=99),
+        JobSpec(app=HelloWorld(), npes=4, config=RuntimeConfig.proposed(),
+                testbed="B"),
+    ]
+    return universe
+
+
+def serve_gate(arrivals: int, cache_dir: str, seed: int,
+               prom_out: str = None) -> bool:
+    specs = spec_universe()
+    hashes = {spec_hash(s) for s in specs}
+    ok = True
+    if len(hashes) != len(specs):
+        print(f"[serve-smoke] FAIL: {len(specs)} distinct specs map to "
+              f"{len(hashes)} hashes", flush=True)
+        ok = False
+
+    trace = synthetic_trace(specs, TENANTS, arrivals=arrivals, seed=seed,
+                            mean_interarrival_us=20_000.0, skew=1.2)
+    print(f"[serve-smoke] {len(specs)}-spec universe, {arrivals} arrivals, "
+          f"{len(TENANTS)} tenants, cache at {cache_dir}", flush=True)
+
+    t0 = time.perf_counter()
+    cache = ResultCache(path=cache_dir, memory_budget=8 << 20)
+    service = SweepService(cache, TENANTS, concurrency=2, queue_limit=16,
+                           hit_cost_us=50.0)
+    report = service.run_trace(trace)
+    print(f"[serve-smoke] cold replay ({time.perf_counter() - t0:.1f}s "
+          "wall):", flush=True)
+    print(report.format(), flush=True)
+
+    if report.hit_ratio <= 0:
+        print("[serve-smoke] FAIL: cold replay hit ratio is zero — the "
+              "skewed trace never deduped", flush=True)
+        ok = False
+    if report.identity_collisions:
+        print(f"[serve-smoke] FAIL: {report.identity_collisions} identity "
+              "collision(s)", flush=True)
+        ok = False
+    if report.rejected != report.submitted - report.admitted:
+        print("[serve-smoke] FAIL: admission bookkeeping inconsistent",
+              flush=True)
+        ok = False
+    for name, tstats in report.tenants.items():
+        if tstats["submitted"] and not tstats["completed"]:
+            print(f"[serve-smoke] FAIL: tenant {name} submitted "
+                  f"{tstats['submitted']} and completed nothing", flush=True)
+            ok = False
+
+    # Warm replay: same trace, fresh service, same (now-warm) cache.
+    warm = SweepService(cache, TENANTS, concurrency=2, queue_limit=16,
+                        hit_cost_us=50.0)
+    warm_report = warm.run_trace(trace)
+    print(f"[serve-smoke] warm replay: hit_ratio="
+          f"{warm_report.hit_ratio:.3f} executed={warm_report.executed}",
+          flush=True)
+    if warm_report.hit_ratio != 1.0 or warm_report.executed != 0:
+        print("[serve-smoke] FAIL: warm replay was not served entirely "
+              "from the cache", flush=True)
+        ok = False
+
+    # Byte-identical hit replay: a fresh run of every distinct spec in
+    # the trace must pickle to exactly the cached payload.
+    distinct = list(dict.fromkeys(a.spec for a in trace))
+    mismatches = 0
+    for spec in distinct:
+        fresh = canonical_payload(execute(spec))
+        cached = cache.get_bytes(spec)
+        if cached != fresh:
+            mismatches += 1
+            print(f"[serve-smoke] FAIL: cached bytes != fresh run for "
+                  f"{spec.identity}", flush=True)
+    print(f"[serve-smoke] byte-identity: {len(distinct) - mismatches}/"
+          f"{len(distinct)} distinct specs byte-identical", flush=True)
+    if mismatches:
+        ok = False
+
+    store = ResultStore(cache)
+    print(f"[serve-smoke] store: {store.summary()}", flush=True)
+    print(f"[serve-smoke] cache: {cache.stats()}", flush=True)
+    if prom_out:
+        Path(prom_out).write_text(
+            prometheus_text(cache.registry.snapshot())
+        )
+        print(f"[serve-smoke] wrote {prom_out}", flush=True)
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--arrivals", type=int, default=64,
+                        help="trace length (default 64)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace generator seed (default 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: a tempdir)")
+    parser.add_argument("--prom", default=None, metavar="FILE",
+                        help="write service+cache metrics as Prometheus "
+                             "text here")
+    args = parser.parse_args(argv)
+    if args.arrivals < 1:
+        print("serve_smoke: --arrivals must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.cache_dir:
+        ok = serve_gate(args.arrivals, args.cache_dir, args.seed,
+                        prom_out=args.prom)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            ok = serve_gate(args.arrivals, tmp, args.seed,
+                            prom_out=args.prom)
+    if not ok:
+        print("[serve-smoke] FAILED", flush=True)
+        return 1
+    print("[serve-smoke] all gates passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""Canonical JobSpec identity: the content hash that *is* the result key.
+
+A :class:`~repro.exec.JobSpec` fully determines its
+:class:`~repro.core.metrics.JobResult` (the determinism contract in
+``repro.exec.pool``), so a collision-free digest of the spec's semantic
+content is a sound cache key: two specs with the same hash produce
+byte-identical results, and a cached result can be returned in place of
+a fresh run with no loss of exactness.  ``repro.serve`` builds its
+content-addressed result cache on exactly this property.
+
+Canonicalisation rules
+----------------------
+The hash covers the *effective* simulation inputs, after the same
+precedence :func:`repro.exec.execute` and :class:`repro.core.Job`
+apply, so trivially-aliased spellings of the same run share a hash:
+
+* ``label`` is display-only and **never** hashed.
+* ``ppn=None`` folds to the testbed default (8 on A, 16 on B) —
+  the value ``_cluster_for`` would use anyway.
+* ``seed`` (the per-spec override) folds into ``config.seed``:
+  ``JobSpec(config=cfg, seed=7)`` and ``JobSpec(config=cfg.evolve(
+  seed=7))`` hash identically, mirroring ``execute()``'s
+  ``config.evolve(seed=...)``.
+* spec-level ``observe`` / ``faults`` / ``check`` / ``macro`` win over
+  their ``config`` counterparts exactly as ``Job`` resolves them; only
+  the effective value is hashed, in its canonical plain form
+  (``canonical_observe`` / ``as_dict``).
+* empty plans fold to ``None``: a ``FaultPlan`` with no rules, a
+  ``CheckPlan`` with every auditor off, an empty ``cost_overrides``
+  tuple, and a disabled ``LifecyclePolicy`` all behave exactly like
+  their absent forms in ``Job``, so they hash like them too.
+* a lifecycle policy under ``connection_mode="static"`` folds to
+  ``None`` (the static conduit never installs one).
+* plan ``name`` fields are kept conservatively: they are display-only
+  today, but hashing them costs only a missed dedup, never a wrong
+  cache hit.
+
+Values must be plain data (bool/int/float/str/None, mappings,
+sequences) — anything else raises a one-line :class:`ConfigError`
+rather than hashing an unstable ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import numbers
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "default_ppn",
+    "canonical_spec",
+    "canonical_json",
+    "spec_hash",
+    "spec_identity",
+]
+
+#: Bump when the canonical layout changes incompatibly — persisted
+#: caches keyed on the old layout then miss cleanly instead of
+#: colliding.
+_CANONICAL_VERSION = 1
+
+#: Hex digits of the full hash appended to :func:`spec_identity`
+#: strings (48 bits — collision-free at any realistic sweep size).
+_IDENTITY_DIGEST_CHARS = 12
+
+
+def default_ppn(testbed: str) -> int:
+    """The ppn ``execute`` uses when the spec leaves it ``None``."""
+    return 8 if testbed == "A" else 16
+
+
+def _plain(value: Any, where: str) -> Any:
+    """Recursively reduce ``value`` to JSON-canonical plain data."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, Mapping):
+        out: Dict[str, Any] = {}
+        for k in value:
+            if not isinstance(k, str):
+                raise ConfigError(
+                    f"JobSpec content hash: {where} has non-string key {k!r}"
+                )
+            out[k] = _plain(value[k], f"{where}.{k}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_plain(v, f"{where}[{i}]") for i, v in enumerate(value)]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # App params may hold frozen config dataclasses (e.g. a NAS
+        # problem class); fold them to their fields, tagged with the
+        # type so same-shaped configs of different types stay distinct.
+        out = {"__type__": type(value).__qualname__}
+        for f in dataclasses.fields(value):
+            out[f.name] = _plain(getattr(value, f.name),
+                                 f"{where}.{f.name}")
+        return out
+    raise ConfigError(
+        f"JobSpec content hash: {where} holds unhashable value {value!r} "
+        f"of type {type(value).__name__}; specs must carry plain data"
+    )
+
+
+def _canonical_observe(value: Any) -> Any:
+    """``False`` / ``True`` / timeline-config dict."""
+    from ..obs.timeline import canonical_observe
+
+    canon = canonical_observe(value)
+    if canon is False or canon is True:
+        return canon
+    return _plain(canon.as_dict(), "observe")
+
+
+def canonical_spec(spec: Any) -> Dict[str, Any]:
+    """The canonical plain-data form of a spec (what gets hashed).
+
+    Deterministic, JSON-serialisable, and label-free; see the module
+    docstring for the folding rules.
+    """
+    app = spec.app
+    app_type = f"{type(app).__module__}.{type(app).__qualname__}"
+    params = {
+        k: _plain(v, f"app.{k}") for k, v in sorted(vars(app).items())
+    }
+
+    config = spec.config
+
+    # Effective values, resolved with Job's arg-wins-over-config rules.
+    observe = spec.observe if spec.observe is not False else config.observe
+    faults = spec.faults if spec.faults is not None else config.fault_plan
+    check = spec.check if spec.check is not None else config.check
+    macro = True if spec.macro else bool(config.macro_phases)
+    seed = spec.seed if spec.seed is not None else config.seed
+
+    faults_c = (
+        None if faults is None or faults.empty
+        else _plain(faults.as_dict(), "faults")
+    )
+    check_c = (
+        None if check is None or check.empty
+        else _plain(check.as_dict(), "check")
+    )
+    lifecycle = config.lifecycle
+    lifecycle_c = (
+        None
+        if (lifecycle is None or not lifecycle.enabled
+            or config.connection_mode != "ondemand")
+        else _plain(lifecycle.as_dict(), "lifecycle")
+    )
+
+    overrides = spec.cost_overrides
+    overrides_c: Optional[List[List[Any]]] = (
+        None if not overrides
+        else [[k, _plain(v, f"cost_overrides.{k}")] for k, v in overrides]
+    )
+
+    return {
+        "v": _CANONICAL_VERSION,
+        "app": {"type": app_type, "params": params},
+        "npes": spec.npes,
+        "testbed": spec.testbed,
+        "ppn": spec.ppn if spec.ppn is not None else default_ppn(spec.testbed),
+        "cost_overrides": overrides_c,
+        "config": {
+            "connection_mode": config.connection_mode,
+            "pmi_mode": config.pmi_mode,
+            "barrier_mode": config.barrier_mode,
+            "piggyback_segments": config.piggyback_segments,
+            "heap_mb": _plain(config.heap_mb, "config.heap_mb"),
+            "heap_backing_kb": config.heap_backing_kb,
+            "seed": seed,
+            "lifecycle": lifecycle_c,
+        },
+        "observe": _canonical_observe(observe),
+        "faults": faults_c,
+        "check": check_c,
+        "macro": macro,
+    }
+
+
+def canonical_json(spec: Any) -> str:
+    """The canonical form as compact, key-sorted JSON (the hash input)."""
+    try:
+        return json.dumps(
+            canonical_spec(spec), sort_keys=True,
+            separators=(",", ":"), allow_nan=False,
+        )
+    except ValueError as exc:  # NaN/Inf have no canonical JSON form
+        raise ConfigError(
+            f"JobSpec content hash: non-finite float in spec: {exc}"
+        ) from exc
+
+
+def spec_hash(spec: Any) -> str:
+    """SHA-256 hex digest of the canonical spec — the result-cache key."""
+    return hashlib.sha256(canonical_json(spec).encode("ascii")).hexdigest()
+
+
+def spec_identity(spec: Any) -> str:
+    """Collision-free human-readable identity (never the ``label``).
+
+    The derived descriptive prefix (app, size, design point, every
+    armed subsystem) plus the first 12 hex chars of
+    :func:`spec_hash`, so error messages and progress lines always
+    distinguish specs that differ *anywhere* semantic — including
+    ``faults`` and ``cost_overrides``, which the display ``key``
+    historically omitted.
+    """
+    app_name = getattr(spec.app, "name", type(spec.app).__name__)
+    parts = [app_name, f"n{spec.npes}", spec.config.label,
+             f"tb{spec.testbed}"]
+    if spec.ppn is not None:
+        parts.append(f"ppn{spec.ppn}")
+    if spec.seed is not None:
+        parts.append(f"seed{spec.seed}")
+    if spec.observe:
+        parts.append("obs" if spec.observe is True else "obs-tl")
+    if spec.faults is not None and not spec.faults.empty:
+        parts.append("faults")
+    if spec.check is not None:
+        parts.append("check")
+    if spec.cost_overrides:
+        parts.append("co")
+    if spec.macro:
+        parts.append("macro")
+    return "-".join(parts) + f"#{spec_hash(spec)[:_IDENTITY_DIGEST_CHARS]}"

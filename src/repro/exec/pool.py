@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 from ..check import CheckPlan
 from ..errors import ConfigError
 from ..faults import FaultPlan
+from .identity import default_ppn, spec_identity
 
 __all__ = ["JobSpec", "SweepError", "execute", "resolve_workers",
            "resolve_workers_info", "run_sweep"]
@@ -68,10 +69,19 @@ _GC_SWEEP_NPES = 256
 
 
 class SweepError(RuntimeError):
-    """A sweep job failed; carries the spec and the original exception."""
+    """A sweep job failed; carries the spec and the original exception.
+
+    The message names the job by its collision-free :attr:`JobSpec.
+    identity` (with the display ``label``, when set, as a prefix) so a
+    failure is never misattributed to a different point of the grid —
+    ``label`` alone can be shared, and the descriptive ``key`` omits
+    ``faults``/``cost_overrides``.
+    """
 
     def __init__(self, spec: "JobSpec", cause: BaseException) -> None:
-        super().__init__(f"sweep job {spec.key} failed: {cause!r}")
+        identity = spec.identity
+        name = f"{spec.label} ({identity})" if spec.label else identity
+        super().__init__(f"sweep job {name} failed: {cause!r}")
         self.spec = spec
         self.cause = cause
 
@@ -129,9 +139,33 @@ class JobSpec:
         object.__setattr__(self, "observe", canonical_observe(self.observe))
         overrides = self.cost_overrides
         if isinstance(overrides, Mapping):
-            object.__setattr__(
-                self, "cost_overrides", tuple(sorted(overrides.items()))
-            )
+            overrides = tuple(sorted(overrides.items()))
+            object.__setattr__(self, "cost_overrides", overrides)
+        if overrides:
+            # Validate here, with the offending key in hand — an
+            # unhashable value (e.g. a list) would otherwise explode
+            # deep inside _custom_cluster's lru_cache with an opaque
+            # TypeError long after construction.
+            for entry in overrides:
+                try:
+                    key, value = entry
+                except (TypeError, ValueError):
+                    raise ConfigError(
+                        f"JobSpec.cost_overrides entries must be "
+                        f"(name, value) pairs, got {entry!r}"
+                    )
+                if not isinstance(key, str):
+                    raise ConfigError(
+                        f"JobSpec.cost_overrides keys must be strings, "
+                        f"got {key!r}"
+                    )
+                try:
+                    hash(value)
+                except TypeError:
+                    raise ConfigError(
+                        f"JobSpec.cost_overrides[{key!r}] must be a "
+                        f"hashable value, got {value!r}"
+                    )
         if self.check is True:
             object.__setattr__(self, "check", CheckPlan())
         elif self.check is False:
@@ -146,7 +180,12 @@ class JobSpec:
 
     @property
     def key(self) -> str:
-        """Stable identification string (for errors / progress lines)."""
+        """Display string: the ``label`` when set, else a descriptive
+        derived form.  NOT collision-free — distinct specs can share a
+        label, and the derived form elides override details.  Anything
+        attributing behaviour to a spec (errors, dedup, caching) must
+        use :attr:`identity` or :func:`repro.exec.spec_hash` instead.
+        """
         if self.label:
             return self.label
         app_name = getattr(self.app, "name", type(self.app).__name__)
@@ -158,11 +197,23 @@ class JobSpec:
             parts.append(f"seed{self.seed}")
         if self.observe:
             parts.append("obs" if self.observe is True else "obs-tl")
+        if self.faults is not None and not self.faults.empty:
+            parts.append("faults")
         if self.check is not None:
             parts.append("check")
+        if self.cost_overrides:
+            parts.append("co")
         if self.macro:
             parts.append("macro")
         return "-".join(parts)
+
+    @property
+    def identity(self) -> str:
+        """Collision-free identity string (see :func:`spec_identity`):
+        the derived descriptive form — ``label`` never shadows it —
+        plus a short content-hash suffix covering every semantic field,
+        including ``faults`` and ``cost_overrides``."""
+        return spec_identity(self)
 
 
 @lru_cache(maxsize=32)
@@ -179,7 +230,7 @@ def _custom_cluster(testbed: str, npes: int, ppn: int,
 def _cluster_for(spec: JobSpec):
     from ..cluster import cluster_a, cluster_b
 
-    ppn = spec.ppn or (8 if spec.testbed == "A" else 16)
+    ppn = spec.ppn if spec.ppn is not None else default_ppn(spec.testbed)
     if spec.cost_overrides:
         return _custom_cluster(spec.testbed, spec.npes, ppn,
                                spec.cost_overrides)

@@ -1,0 +1,494 @@
+"""The multi-tenant sweep service: admission, fair-share, dedup.
+
+``SweepService`` is the long-lived front end the ROADMAP's item 3 asks
+for: tenants submit streams of :class:`~repro.exec.JobSpec`\\ s (live
+via :meth:`~SweepService.submit`, or replayed from a trace via
+:meth:`~SweepService.run_trace`), and the service answers each from the
+content-addressed :class:`~repro.serve.cache.ResultCache` when it can,
+scheduling only genuine misses onto the PR-4 sweep pool.
+
+The service itself is a small deterministic discrete-event model in
+**virtual time** — deliberately the same trick the simulator plays on
+the paper's cluster.  Executing a spec takes real CPU once (and is
+cached forever after), but *when* each submission completes is computed
+in simulated microseconds:
+
+* a **hit** (spec already cached, or completed earlier in this
+  service's lifetime) costs ``hit_cost_us`` and never occupies a slot;
+* an **in-flight duplicate** attaches to the running job and completes
+  with it — one execution serves every concurrent requester;
+* a **miss** queues per-tenant and waits for one of ``concurrency``
+  server slots; its service time is the job's own simulated
+  ``wall_time_us``, so bigger experiments genuinely hold slots longer.
+
+Scheduling across tenants is weighted fair-share (stride scheduling:
+each dispatch advances the owning tenant's virtual time by
+``duration / weight``, and the backlogged tenant with the smallest
+virtual time goes next; a tenant returning from idle is re-based so it
+cannot starve the others with banked idleness).  Within a tenant,
+higher ``priority`` wins, FIFO within a priority.  Admission control
+is a per-tenant queue cap: a cold submission beyond ``queue_limit``
+is rejected outright, recorded per tenant.
+
+Everything lands on a :class:`~repro.obs.MetricsRegistry`
+(``serve.submitted{tenant=}``, ``serve.hits``, ``serve.dedup_inflight``,
+``serve.misses``, ``serve.rejected{tenant=}``, per-tenant
+``serve.latency_us`` histograms, an ``serve.inflight`` gauge) so one
+snapshot/Prometheus export shows service behaviour next to cache
+behaviour.
+
+Determinism contract: same cache state + same submission sequence →
+identical :class:`ServiceReport`, including every latency percentile.
+All tie-breaks are (value, sequence-number) ordered; no wall clock, no
+unordered iteration, no stdlib ``random``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+from ..exec import (
+    JobSpec,
+    canonical_json,
+    execute,
+    run_sweep,
+    spec_hash,
+)
+from ..obs.metrics import MetricsRegistry
+from .cache import ResultCache
+from .trace import JobArrival
+
+__all__ = ["SweepService", "ServiceReport"]
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    """Exact nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    n = len(sorted_values)
+    rank = max(1, math.ceil(p / 100.0 * n))
+    return sorted_values[min(n, rank) - 1]
+
+
+@dataclass
+class _Pending:
+    key: str
+    spec: JobSpec
+    tenant: str
+    arrival_us: float
+    priority: int
+    seq: int
+    #: (tenant, arrival_us) of every submission waiting on this entry —
+    #: duplicates arriving while it sits in the queue attach here, and
+    #: the list transfers to the :class:`_Running` at dispatch.
+    waiters: List[Tuple[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class _Running:
+    key: str
+    tenant: str
+    start_us: float
+    finish_us: float
+    duration_us: float
+    #: (tenant, arrival_us) of every submission served by this run.
+    waiters: List[Tuple[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class ServiceReport:
+    """Everything one service run (or trace replay) produced."""
+
+    submitted: int
+    admitted: int
+    rejected: int
+    hits: int
+    dedup_inflight: int
+    misses: int
+    executed: int
+    hit_ratio: float
+    makespan_us: float
+    identity_collisions: int
+    fairness: float
+    #: name -> {submitted, hits, misses, dedup_inflight, rejected,
+    #:          completed, busy_us, weight, latency_us: {p50/p90/p99/
+    #:          mean/max}}
+    tenants: Dict[str, Dict[str, Any]]
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (smoke script output)."""
+        lines = [
+            f"submitted={self.submitted} admitted={self.admitted} "
+            f"rejected={self.rejected}",
+            f"hits={self.hits} dedup_inflight={self.dedup_inflight} "
+            f"misses={self.misses} executed={self.executed} "
+            f"hit_ratio={self.hit_ratio:.3f}",
+            f"makespan={self.makespan_us / 1e6:.3f}s "
+            f"fairness={self.fairness:.3f} "
+            f"collisions={self.identity_collisions}",
+        ]
+        for name, t in self.tenants.items():
+            lat = t["latency_us"]
+            lines.append(
+                f"  tenant {name} (w={t['weight']:g}): "
+                f"sub={t['submitted']} hit={t['hits']} "
+                f"miss={t['misses']} dedup={t['dedup_inflight']} "
+                f"rej={t['rejected']} busy={t['busy_us'] / 1e6:.3f}s "
+                f"p50={lat['p50'] / 1e3:.2f}ms "
+                f"p90={lat['p90'] / 1e3:.2f}ms "
+                f"p99={lat['p99'] / 1e3:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+class SweepService:
+    """Multi-tenant sweep front end over a :class:`ResultCache`."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        tenants: Mapping[str, float],
+        concurrency: int = 2,
+        queue_limit: Optional[int] = None,
+        hit_cost_us: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if not isinstance(cache, ResultCache):
+            raise ConfigError(
+                f"SweepService needs a ResultCache, got {cache!r}"
+            )
+        if not tenants:
+            raise ConfigError("SweepService needs at least one tenant")
+        for name, weight in tenants.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigError(
+                    f"tenant names must be non-empty strings, got {name!r}"
+                )
+            if not weight > 0:
+                raise ConfigError(
+                    f"tenant {name!r} weight must be positive, got {weight!r}"
+                )
+        if concurrency < 1:
+            raise ConfigError(
+                f"concurrency must be >= 1, got {concurrency}"
+            )
+        if queue_limit is not None and queue_limit < 1:
+            raise ConfigError(
+                f"queue_limit must be >= 1 or None, got {queue_limit}"
+            )
+        if hit_cost_us < 0:
+            raise ConfigError(
+                f"hit_cost_us must be >= 0, got {hit_cost_us}"
+            )
+        self.cache = cache
+        self.registry = registry if registry is not None else cache.registry
+        self.weights: Dict[str, float] = {
+            name: float(w) for name, w in tenants.items()
+        }
+        self.concurrency = concurrency
+        self.queue_limit = queue_limit
+        self.hit_cost_us = hit_cost_us
+        self.max_workers = max_workers
+
+        self.now = 0.0
+        self._seq = 0
+        self._queues: Dict[str, List[Tuple[int, int, _Pending]]] = {
+            name: [] for name in self.weights
+        }
+        self._running: List[Tuple[float, int, _Running]] = []
+        self._inflight: Dict[str, _Running] = {}
+        self._queued: Dict[str, _Pending] = {}
+        self._completed: Dict[str, bool] = {}
+        self._durations: Dict[str, float] = {}
+        self._vtime: Dict[str, float] = {name: 0.0 for name in self.weights}
+        self._vfloor = 0.0
+        self._canon: Dict[str, str] = {}
+        self._collisions = 0
+        self._executed = 0
+        self._stats: Dict[str, Dict[str, Any]] = {
+            name: {
+                "submitted": 0, "hits": 0, "misses": 0,
+                "dedup_inflight": 0, "rejected": 0, "completed": 0,
+                "busy_us": 0.0, "latencies": [],
+            }
+            for name in self.weights
+        }
+
+    # -- metrics --------------------------------------------------------
+    def _observe_latency(self, tenant: str, latency_us: float) -> None:
+        stats = self._stats[tenant]
+        stats["latencies"].append(latency_us)
+        stats["completed"] += 1
+        # Histograms only take positive observations; an instant hit
+        # with hit_cost_us=0 still counts through the list above.
+        if latency_us > 0:
+            self.registry.histogram(
+                "serve.latency_us", tenant=tenant
+            ).observe(latency_us)
+
+    # -- identity bookkeeping -------------------------------------------
+    def _register_identity(self, key: str, spec: JobSpec) -> None:
+        canon = canonical_json(spec)
+        known = self._canon.get(key)
+        if known is None:
+            self._canon[key] = canon
+        elif known != canon:  # pragma: no cover - sha256 collision
+            self._collisions += 1
+            self.registry.counter("serve.identity_collisions").inc()
+
+    # -- virtual-time engine --------------------------------------------
+    def _complete_next(self) -> None:
+        finish, _, run = heapq.heappop(self._running)
+        self.now = finish
+        self._inflight.pop(run.key, None)
+        self._completed[run.key] = True
+        self._stats[run.tenant]["busy_us"] += run.duration_us
+        for tenant, arrival_us in run.waiters:
+            self._observe_latency(tenant, finish - arrival_us)
+        self.registry.gauge("serve.inflight").set(len(self._running))
+        self._dispatch()
+
+    def advance_to(self, time_us: float) -> None:
+        """Process every completion up to ``time_us``, then move the
+        virtual clock there."""
+        while self._running and self._running[0][0] <= time_us:
+            self._complete_next()
+        if time_us > self.now:
+            self.now = time_us
+
+    def _duration_for(self, pending: _Pending) -> float:
+        duration = self._durations.get(pending.key)
+        if duration is None:
+            # Incremental (un-prefetched) miss: run it now, cache it.
+            result = execute(pending.spec)
+            self._executed += 1
+            self.cache.put(pending.spec, result)
+            duration = float(result.wall_time_us)
+            self._durations[pending.key] = duration
+        return duration
+
+    def _dispatch(self) -> None:
+        while len(self._running) < self.concurrency:
+            backlogged = [
+                name for name, q in self._queues.items() if q
+            ]
+            if not backlogged:
+                return
+            tenant = min(backlogged, key=lambda n: (self._vtime[n], n))
+            _, _, pending = heapq.heappop(self._queues[tenant])
+            self._queued.pop(pending.key, None)
+            duration = self._duration_for(pending)
+            self._vfloor = self._vtime[tenant]
+            self._vtime[tenant] += duration / self.weights[tenant]
+            run = _Running(
+                key=pending.key,
+                tenant=tenant,
+                start_us=self.now,
+                finish_us=self.now + duration,
+                duration_us=duration,
+                waiters=pending.waiters,
+            )
+            self._inflight[pending.key] = run
+            self._seq += 1
+            heapq.heappush(
+                self._running, (run.finish_us, self._seq, run)
+            )
+            self.registry.gauge("serve.inflight").set(len(self._running))
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        time_us: float,
+        tenant: str,
+        spec: JobSpec,
+        priority: int = 0,
+        warm: Optional[bool] = None,
+    ) -> str:
+        """Submit one spec; returns ``"hit"``, ``"inflight"``,
+        ``"miss"`` (admitted cold), or ``"rejected"``.
+
+        Submissions must be time-ordered.  ``warm`` overrides the
+        hit/miss classification (``run_trace`` passes the pre-replay
+        snapshot so its own prefetch doesn't inflate the hit ratio);
+        ``None`` consults the live cache.
+        """
+        if tenant not in self.weights:
+            raise ConfigError(
+                f"unknown tenant {tenant!r}; service tenants are "
+                f"{sorted(self.weights)}"
+            )
+        if time_us < self.now:
+            raise ConfigError(
+                f"submissions must be time-ordered: {time_us} is before "
+                f"the service clock {self.now}"
+            )
+        if not isinstance(spec, JobSpec):
+            raise ConfigError(f"submit expects a JobSpec, got {spec!r}")
+        self.advance_to(time_us)
+        stats = self._stats[tenant]
+        stats["submitted"] += 1
+        self.registry.counter("serve.submitted", tenant=tenant).inc()
+        key = spec_hash(spec)
+        self._register_identity(key, spec)
+
+        run = self._inflight.get(key)
+        if run is not None:
+            run.waiters.append((tenant, time_us))
+            stats["dedup_inflight"] += 1
+            self.registry.counter("serve.dedup_inflight").inc()
+            return "inflight"
+        pending = self._queued.get(key)
+        if pending is not None:
+            # Queued-but-not-dispatched duplicates attach to the
+            # pending entry: one future execution serves them all.
+            pending.waiters.append((tenant, time_us))
+            stats["dedup_inflight"] += 1
+            self.registry.counter("serve.dedup_inflight").inc()
+            return "inflight"
+
+        if warm is None:
+            warm = self.cache.contains(key)
+        if warm or key in self._completed:
+            stats["hits"] += 1
+            self.registry.counter("serve.hits").inc()
+            self._observe_latency(tenant, self.hit_cost_us)
+            return "hit"
+
+        if (
+            self.queue_limit is not None
+            and len(self._queues[tenant]) >= self.queue_limit
+        ):
+            stats["rejected"] += 1
+            self.registry.counter("serve.rejected", tenant=tenant).inc()
+            return "rejected"
+
+        stats["misses"] += 1
+        self.registry.counter("serve.misses").inc()
+        self._seq += 1
+        if not self._queues[tenant] and not any(
+            r.tenant == tenant for _, _, r in self._running
+        ):
+            # Re-base a tenant returning from idle so banked idleness
+            # cannot starve the active tenants.
+            self._vtime[tenant] = max(self._vtime[tenant], self._vfloor)
+        pending = _Pending(key, spec, tenant, time_us, priority,
+                           self._seq, waiters=[(tenant, time_us)])
+        self._queued[key] = pending
+        heapq.heappush(
+            self._queues[tenant], (-priority, self._seq, pending)
+        )
+        self._dispatch()
+        return "miss"
+
+    def drain(self) -> "ServiceReport":
+        """Run every queued/in-flight job to completion; report."""
+        while self._running:
+            self._complete_next()
+        return self.report()
+
+    # -- trace replay ---------------------------------------------------
+    def run_trace(
+        self,
+        arrivals: List[JobArrival],
+        prefetch: bool = True,
+    ) -> "ServiceReport":
+        """Replay a trace and drain; returns the report.
+
+        With ``prefetch`` (the default), the distinct cold specs are
+        first fanned over the PR-4 sweep pool (``run_sweep``) and
+        cached, so the replay itself is pure virtual-time bookkeeping;
+        hit/miss classification is snapshotted *before* the prefetch,
+        so warming the cache this way never inflates the hit ratio.
+        """
+        for arrival in arrivals:
+            if not isinstance(arrival, JobArrival):
+                raise ConfigError(
+                    f"run_trace expects JobArrivals, got {arrival!r}"
+                )
+        arrivals = sorted(
+            arrivals, key=lambda a: a.time_us
+        )
+        warm_map: Dict[str, bool] = {}
+        cold_specs: List[JobSpec] = []
+        for arrival in arrivals:
+            key = spec_hash(arrival.spec)
+            if key not in warm_map:
+                warm_map[key] = self.cache.contains(key)
+                if not warm_map[key] and key not in self._completed:
+                    cold_specs.append(arrival.spec)
+        if prefetch and cold_specs:
+            results = run_sweep(cold_specs, max_workers=self.max_workers)
+            self._executed += len(results)
+            for spec, result in zip(cold_specs, results):
+                key = self.cache.put(spec, result)
+                self._durations[key] = float(result.wall_time_us)
+        for arrival in arrivals:
+            self.submit(
+                arrival.time_us, arrival.tenant, arrival.spec,
+                priority=arrival.priority,
+                warm=warm_map[spec_hash(arrival.spec)],
+            )
+        return self.drain()
+
+    # -- reporting ------------------------------------------------------
+    def report(self) -> "ServiceReport":
+        """Snapshot of everything submitted so far."""
+        tenants: Dict[str, Dict[str, Any]] = {}
+        totals = {
+            "submitted": 0, "hits": 0, "misses": 0,
+            "dedup_inflight": 0, "rejected": 0,
+        }
+        busy_shares: List[float] = []
+        for name in self.weights:
+            stats = self._stats[name]
+            for k in totals:
+                totals[k] += stats[k]
+            latencies = sorted(stats["latencies"])
+            tenants[name] = {
+                "submitted": stats["submitted"],
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "dedup_inflight": stats["dedup_inflight"],
+                "rejected": stats["rejected"],
+                "completed": stats["completed"],
+                "busy_us": stats["busy_us"],
+                "weight": self.weights[name],
+                "latency_us": {
+                    "p50": _percentile(latencies, 50),
+                    "p90": _percentile(latencies, 90),
+                    "p99": _percentile(latencies, 99),
+                    "mean": (sum(latencies) / len(latencies)
+                             if latencies else 0.0),
+                    "max": latencies[-1] if latencies else 0.0,
+                },
+            }
+            if stats["busy_us"] > 0:
+                busy_shares.append(stats["busy_us"] / self.weights[name])
+        if len(busy_shares) >= 2:
+            fairness = (
+                sum(busy_shares) ** 2
+                / (len(busy_shares) * sum(x * x for x in busy_shares))
+            )
+        else:
+            fairness = 1.0
+        admitted = totals["submitted"] - totals["rejected"]
+        served = totals["hits"] + totals["dedup_inflight"]
+        return ServiceReport(
+            submitted=totals["submitted"],
+            admitted=admitted,
+            rejected=totals["rejected"],
+            hits=totals["hits"],
+            dedup_inflight=totals["dedup_inflight"],
+            misses=totals["misses"],
+            executed=self._executed,
+            hit_ratio=(served / admitted) if admitted else 0.0,
+            makespan_us=self.now,
+            identity_collisions=self._collisions,
+            fairness=fairness,
+            tenants=tenants,
+        )

@@ -1,0 +1,112 @@
+"""The queryable result store: a read API over the content cache.
+
+``ResultCache`` answers "give me the result for exactly this spec";
+``ResultStore`` answers the browsing questions an experimenter asks a
+long-lived service — *which* points are already computed, for which
+apps and sizes, at what design corners — without re-deriving a single
+spec.  It reads the cache's metadata index (which survives restarts on
+a disk-backed cache), filters on the stored fields, and materialises
+full :class:`~repro.core.metrics.JobResult` objects only on request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+from .cache import ResultCache
+
+__all__ = ["ResultStore", "StoreEntry"]
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One computed point, as the query API reports it."""
+
+    hash: str
+    app: str
+    npes: int
+    config_label: str
+    testbed: str
+    ppn: Optional[int]
+    macro: bool
+    wall_time_us: float
+    size: int
+
+
+class ResultStore:
+    """Query façade over a :class:`ResultCache`."""
+
+    def __init__(self, cache: ResultCache) -> None:
+        if not isinstance(cache, ResultCache):
+            raise ConfigError(
+                f"ResultStore needs a ResultCache, got {cache!r}"
+            )
+        self.cache = cache
+
+    def entries(self) -> List[StoreEntry]:
+        """Every resident entry, hash-sorted (stable across tiers)."""
+        rows = [
+            StoreEntry(
+                hash=meta["hash"], app=meta["app"], npes=meta["npes"],
+                config_label=meta["config_label"],
+                testbed=meta["testbed"], ppn=meta["ppn"],
+                macro=meta["macro"], wall_time_us=meta["wall_time_us"],
+                size=meta["size"],
+            )
+            for meta in self.cache.entries()
+        ]
+        return sorted(rows, key=lambda e: e.hash)
+
+    def query(
+        self,
+        app: Optional[str] = None,
+        npes: Optional[int] = None,
+        config_label: Optional[str] = None,
+        testbed: Optional[str] = None,
+        predicate: Optional[Callable[[StoreEntry], bool]] = None,
+    ) -> List[StoreEntry]:
+        """Entries matching every given filter (AND semantics)."""
+        out = []
+        for entry in self.entries():
+            if app is not None and entry.app != app:
+                continue
+            if npes is not None and entry.npes != npes:
+                continue
+            if config_label is not None and entry.config_label != config_label:
+                continue
+            if testbed is not None and entry.testbed != testbed:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            out.append(entry)
+        return out
+
+    def get(self, spec_or_hash: Any) -> Any:
+        """The full :class:`JobResult` for one entry.
+
+        Raises :class:`KeyError` on a miss — the store is a read API
+        over known results, not a compute path.
+        """
+        result = self.cache.get(spec_or_hash)
+        if result is None:
+            raise KeyError(
+                f"result store has no entry for {spec_or_hash!r}"
+            )
+        return result
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view: entry count, byte total, apps x sizes."""
+        entries = self.entries()
+        apps: Dict[str, int] = {}
+        sizes: Dict[int, int] = {}
+        for entry in entries:
+            apps[entry.app] = apps.get(entry.app, 0) + 1
+            sizes[entry.npes] = sizes.get(entry.npes, 0) + 1
+        return {
+            "entries": len(entries),
+            "bytes": sum(e.size for e in entries),
+            "apps": dict(sorted(apps.items())),
+            "sizes": dict(sorted(sizes.items())),
+        }

@@ -1,0 +1,84 @@
+"""ResultStore: querying what a service has already computed."""
+
+import pytest
+
+from repro.apps import HelloWorld
+from repro.core import RuntimeConfig
+from repro.errors import ConfigError
+from repro.exec import JobSpec, execute, spec_hash
+from repro.serve import ResultCache, ResultStore, StoreEntry
+
+
+def _spec(npes=4, config=None, **kw):
+    kw.setdefault("ppn", 2)
+    return JobSpec(app=HelloWorld(), npes=npes,
+                   config=config or RuntimeConfig.proposed(), **kw)
+
+
+@pytest.fixture
+def store():
+    cache = ResultCache()
+    for spec in (_spec(4), _spec(8),
+                 _spec(8, RuntimeConfig.current()),
+                 _spec(4, testbed="B", ppn=16)):
+        cache.put(spec, execute(spec))
+    return ResultStore(cache)
+
+
+class TestQuery:
+    def test_needs_a_cache(self):
+        with pytest.raises(ConfigError):
+            ResultStore("nope")
+
+    def test_entries_are_hash_sorted(self, store):
+        hashes = [e.hash for e in store.entries()]
+        assert hashes == sorted(hashes)
+        assert len(hashes) == 4
+
+    def test_filter_by_npes(self, store):
+        assert all(e.npes == 8 for e in store.query(npes=8))
+        assert len(store.query(npes=8)) == 2
+
+    def test_filters_and_together(self, store):
+        label = RuntimeConfig.proposed().label
+        rows = store.query(npes=8, config_label=label)
+        assert len(rows) == 1
+
+    def test_filter_by_testbed(self, store):
+        (row,) = store.query(testbed="B")
+        assert row.ppn == 16
+
+    def test_predicate_filter(self, store):
+        rows = store.query(predicate=lambda e: e.wall_time_us > 0)
+        assert len(rows) == 4
+
+    def test_no_match_is_empty(self, store):
+        assert store.query(app="no-such-app") == []
+
+
+class TestGet:
+    def test_get_by_spec(self, store):
+        assert store.get(_spec(4)) == execute(_spec(4))
+
+    def test_get_by_hash(self, store):
+        spec = _spec(4)
+        assert store.get(spec_hash(spec)) == execute(spec)
+
+    def test_get_miss_raises_key_error(self, store):
+        with pytest.raises(KeyError):
+            store.get(_spec(32))
+
+
+class TestSummary:
+    def test_summary_aggregates(self, store):
+        summary = store.summary()
+        assert summary["entries"] == 4
+        assert summary["apps"] == {"hello": 4}
+        assert summary["sizes"] == {4: 2, 8: 2}
+        assert summary["bytes"] > 0
+
+    def test_entry_is_frozen(self, store):
+        entry = store.entries()[0]
+        assert isinstance(entry, StoreEntry)
+        with pytest.raises(AttributeError):
+            entry.npes = 99

@@ -1,0 +1,124 @@
+"""synthetic_trace: determinism, skew, tenant weighting, validation."""
+
+import pytest
+
+from repro.apps import HelloWorld
+from repro.core import RuntimeConfig
+from repro.errors import ConfigError
+from repro.exec import JobSpec, spec_hash
+from repro.serve import JobArrival, synthetic_trace
+
+
+def _specs(n=6):
+    return [JobSpec(app=HelloWorld(), npes=2 * (i + 1),
+                    config=RuntimeConfig.proposed(), ppn=2)
+            for i in range(n)]
+
+
+TENANTS = {"a": 3.0, "b": 1.0}
+
+
+class TestJobArrival:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            JobArrival(time_us=-1.0, tenant="a", spec=_specs(1)[0])
+
+    def test_empty_tenant_rejected(self):
+        with pytest.raises(ConfigError):
+            JobArrival(time_us=0.0, tenant="", spec=_specs(1)[0])
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            JobArrival(time_us=0.0, tenant="a", spec="nope")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = synthetic_trace(_specs(), TENANTS, arrivals=50, seed=3)
+        b = synthetic_trace(_specs(), TENANTS, arrivals=50, seed=3)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = synthetic_trace(_specs(), TENANTS, arrivals=50, seed=3)
+        b = synthetic_trace(_specs(), TENANTS, arrivals=50, seed=4)
+        assert a != b
+
+
+class TestShape:
+    def test_times_are_strictly_ordered_and_positive(self):
+        trace = synthetic_trace(_specs(), TENANTS, arrivals=50, seed=0)
+        times = [a.time_us for a in trace]
+        assert all(t > 0 for t in times)
+        assert times == sorted(times)
+
+    def test_zipf_skew_front_loads_popularity(self):
+        specs = _specs(8)
+        trace = synthetic_trace(specs, TENANTS, arrivals=400, seed=0,
+                                skew=1.5)
+        head = spec_hash(specs[0])
+        tail = spec_hash(specs[-1])
+        counts = {}
+        for a in trace:
+            k = spec_hash(a.spec)
+            counts[k] = counts.get(k, 0) + 1
+        assert counts.get(head, 0) > counts.get(tail, 0)
+
+    def test_zero_skew_is_roughly_uniform(self):
+        specs = _specs(2)
+        trace = synthetic_trace(specs, TENANTS, arrivals=400, seed=0,
+                                skew=0.0)
+        first = sum(1 for a in trace if a.spec == specs[0])
+        assert 120 < first < 280
+
+    def test_tenant_weights_shape_traffic(self):
+        trace = synthetic_trace(_specs(), {"a": 9.0, "b": 1.0},
+                                arrivals=300, seed=0)
+        a_count = sum(1 for arr in trace if arr.tenant == "a")
+        assert a_count > 200
+
+    def test_priorities_come_from_the_given_set(self):
+        trace = synthetic_trace(_specs(), TENANTS, arrivals=100, seed=0,
+                                priorities=(3, 7))
+        assert {a.priority for a in trace} == {3, 7}
+
+    def test_mean_interarrival_scales_times(self):
+        fast = synthetic_trace(_specs(), TENANTS, arrivals=100, seed=0,
+                               mean_interarrival_us=1_000.0)
+        slow = synthetic_trace(_specs(), TENANTS, arrivals=100, seed=0,
+                               mean_interarrival_us=100_000.0)
+        assert slow[-1].time_us > fast[-1].time_us * 10
+
+
+class TestValidation:
+    def test_needs_specs(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace([], TENANTS, arrivals=10)
+
+    def test_needs_tenants(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(_specs(), {}, arrivals=10)
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(_specs(), {"a": -1.0}, arrivals=10)
+
+    def test_rejects_zero_arrivals(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(_specs(), TENANTS, arrivals=0)
+
+    def test_rejects_bad_interarrival(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(_specs(), TENANTS, arrivals=10,
+                            mean_interarrival_us=0.0)
+
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(_specs(), TENANTS, arrivals=10, skew=-0.1)
+
+    def test_rejects_empty_priorities(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(_specs(), TENANTS, arrivals=10, priorities=())
+
+    def test_rejects_non_spec_universe(self):
+        with pytest.raises(ConfigError):
+            synthetic_trace(["nope"], TENANTS, arrivals=10)
